@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: canned clusters, task
+ * drivers, and paper-vs-measured table rendering.
+ */
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mem/node.h"
+#include "net/network.h"
+#include "rmem/engine.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "util/panic.h"
+#include "util/strings.h"
+
+namespace remora::bench {
+
+/** Two directly-linked nodes (the paper's measurement testbed). */
+struct TwoNode
+{
+    sim::Simulator sim;
+    net::Network network;
+    mem::Node nodeA;
+    mem::Node nodeB;
+    rmem::RmemEngine engineA;
+    rmem::RmemEngine engineB;
+
+    explicit TwoNode(const rmem::CostModel &costs = {})
+        : network(sim, net::LinkParams{}),
+          nodeA(sim, 1, "client"), nodeB(sim, 2, "server"),
+          engineA(nodeA, costs), engineB(nodeB, costs)
+    {
+        network.addHost(1, nodeA.nic());
+        network.addHost(2, nodeB.nic());
+        network.wireDirect();
+    }
+};
+
+/** Drive the simulator until @p task finishes; returns its result. */
+template <typename T>
+T
+run(sim::Simulator &sim, sim::Task<T> &task)
+{
+    while (!task.done() && sim.step()) {
+    }
+    if (!task.done()) {
+        REMORA_PANIC("bench task stalled: event queue drained");
+    }
+    return task.result();
+}
+
+inline void
+run(sim::Simulator &sim, sim::Task<void> &task)
+{
+    while (!task.done() && sim.step()) {
+    }
+    if (!task.done()) {
+        REMORA_PANIC("bench task stalled: event queue drained");
+    }
+    task.result();
+}
+
+/** Format a "percent of paper value" deviation column. */
+inline std::string
+deviation(double measured, double paper)
+{
+    if (paper == 0.0) {
+        return "-";
+    }
+    double pct = 100.0 * (measured - paper) / paper;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.1f%%", pct);
+    return buf;
+}
+
+/** Format a double with the given precision. */
+inline std::string
+fmt(double v, int prec = 1)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+/** Print a bench header banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+} // namespace remora::bench

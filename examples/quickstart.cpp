@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Quickstart: the remote-memory model in one small program.
+ *
+ * Builds the paper's measurement testbed — two workstations on a
+ * direct ATM link — then walks the core concepts:
+ *
+ *   1. a server process exports a protected memory segment;
+ *   2. a client on the other machine imports it by name;
+ *   3. the client WRITEs into it (pure data transfer: the server
+ *      process never runs);
+ *   4. the client WRITEs with the notify bit set (separate, optional
+ *      control transfer: the server's blocked reader wakes);
+ *   5. the client READs the segment back and checks the bytes.
+ *
+ * Run it and follow the narration.
+ */
+#include <cstdio>
+
+#include "mem/node.h"
+#include "names/clerk.h"
+#include "net/network.h"
+#include "rmem/engine.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "util/strings.h"
+
+using namespace remora;
+
+namespace {
+
+sim::Task<void>
+serverSide(rmem::RmemEngine *engine, names::NameClerk *names,
+           mem::Process *proc)
+{
+    auto &sim = engine->node().simulator();
+
+    // 1. Export 4 KB of this process's memory under a public name.
+    mem::Vaddr base = proc->space().allocRegion(4096);
+    auto handle = co_await names->exportByName(
+        *proc, base, 4096, rmem::Rights::kAll,
+        rmem::NotifyPolicy::kConditional, "quickstart.board");
+    REMORA_ASSERT(handle.ok());
+    std::printf("[%-9s] server exported 'quickstart.board' "
+                "(descriptor %u, generation %u)\n",
+                util::formatDuration(sim.now()).c_str(),
+                handle.value().descriptor, handle.value().generation);
+
+    // 4b. Block on the segment's notification channel: this is the
+    // *optional* control-transfer path. Plain writes land silently.
+    auto *channel = engine->channel(handle.value().descriptor);
+    rmem::Notification n = co_await channel->next();
+    std::printf("[%-9s] server woken by notification: node %u wrote %u "
+                "bytes at offset %u\n",
+                util::formatDuration(sim.now()).c_str(), n.srcNode, n.count,
+                n.offset);
+
+    std::vector<uint8_t> seen(16);
+    REMORA_ASSERT(proc->space().read(base, seen).ok());
+    std::printf("[%-9s] server reads its own memory: \"%.*s\"\n",
+                util::formatDuration(sim.now()).c_str(),
+                static_cast<int>(seen.size()), seen.data());
+}
+
+sim::Task<void>
+clientSide(rmem::RmemEngine *engine, names::NameClerk *names,
+           mem::Process *proc)
+{
+    auto &sim = engine->node().simulator();
+
+    // Give the server a moment to export.
+    co_await sim::delay(sim, sim::msec(1));
+
+    // 2. Import the segment by name (one remote read of the peer
+    // clerk's registry resolves it).
+    auto imported = co_await names->import("quickstart.board", 2);
+    REMORA_ASSERT(imported.ok());
+    rmem::ImportedSegment seg = imported.value();
+    std::printf("[%-9s] client imported 'quickstart.board' from node %u\n",
+                util::formatDuration(sim.now()).c_str(), seg.node);
+
+    // 3. Pure data transfer: no control reaches the server process.
+    std::string greeting = "hello remora!";
+    std::vector<uint8_t> bytes(greeting.begin(), greeting.end());
+    sim::Time t0 = sim.now();
+    auto ws = co_await engine->write(seg, 0, bytes);
+    REMORA_ASSERT(ws.ok());
+    std::printf("[%-9s] client remote-wrote %zu bytes (local completion "
+                "in %s; the server process never ran)\n",
+                util::formatDuration(sim.now()).c_str(), bytes.size(),
+                util::formatDuration(sim.now() - t0).c_str());
+
+    // 4. The same write with the notify bit: now (and only now) the
+    // destination gets a control transfer.
+    ws = co_await engine->write(seg, 0, bytes, /*notify=*/true);
+    REMORA_ASSERT(ws.ok());
+
+    // 5. Read it back through the wire into a local segment.
+    mem::Vaddr lbase = proc->space().allocRegion(4096);
+    auto local = engine->exportSegment(*proc, lbase, 4096,
+                                       rmem::Rights::kRead,
+                                       rmem::NotifyPolicy::kNever,
+                                       "quickstart.scratch");
+    REMORA_ASSERT(local.ok());
+    t0 = sim.now();
+    auto read = co_await engine->read(
+        seg, 0, local.value().descriptor, 0,
+        static_cast<uint32_t>(bytes.size()));
+    REMORA_ASSERT(read.status.ok());
+    std::printf("[%-9s] client remote-read %zu bytes back in %s: \"%.*s\"\n",
+                util::formatDuration(sim.now()).c_str(), read.data.size(),
+                util::formatDuration(sim.now() - t0).c_str(),
+                static_cast<int>(read.data.size()), read.data.data());
+    REMORA_ASSERT(read.data == bytes);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("remora quickstart: two DECstations, one ATM link\n\n");
+
+    sim::Simulator sim;
+    net::Network network(sim, net::LinkParams{});
+
+    mem::Node client(sim, 1, "client");
+    mem::Node server(sim, 2, "server");
+    rmem::RmemEngine clientEngine(client);
+    rmem::RmemEngine serverEngine(server);
+    network.addHost(1, client.nic());
+    network.addHost(2, server.nic());
+    network.wireDirect();
+
+    names::NameClerk clientNames(clientEngine);
+    names::NameClerk serverNames(serverEngine);
+    clientNames.addPeer(2);
+    serverNames.addPeer(1);
+
+    mem::Process &serverProc = server.spawnProcess("app");
+    mem::Process &clientProc = client.spawnProcess("app");
+
+    auto s = serverSide(&serverEngine, &serverNames, &serverProc);
+    auto c = clientSide(&clientEngine, &clientNames, &clientProc);
+    sim.run();
+
+    REMORA_ASSERT(s.done() && c.done());
+    std::printf("\ndone: %llu simulated events, %s of simulated time\n",
+                static_cast<unsigned long long>(sim.eventsProcessed()),
+                util::formatDuration(sim.now()).c_str());
+    return 0;
+}

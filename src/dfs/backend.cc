@@ -1,0 +1,576 @@
+#include "dfs/backend.h"
+
+#include <algorithm>
+
+#include "util/panic.h"
+
+namespace remora::dfs {
+
+namespace {
+
+/** Deadline for DX remote reads (silence means the server is gone). */
+constexpr sim::Duration kDxReadTimeout = sim::msec(100);
+
+/** Scratch deposit slots: big enough for a header + unaligned block. */
+constexpr uint32_t kScratchSlotBytes = 20480;
+constexpr uint32_t kScratchSlots = 4;
+
+// ---- Reply decoders shared by HY and RPC backends --------------------
+
+util::Status
+replyStatus(rpc::Unmarshal &u)
+{
+    uint32_t code = u.getU32();
+    if (!u.ok()) {
+        return util::Status(util::ErrorCode::kMalformed, "short reply");
+    }
+    if (code != 0) {
+        return util::Status(static_cast<util::ErrorCode>(code),
+                            "server-side failure");
+    }
+    return {};
+}
+
+util::Result<FileAttr>
+decodeAttrReply(const std::vector<uint8_t> &body)
+{
+    rpc::Unmarshal u(body);
+    util::Status s = replyStatus(u);
+    if (!s.ok()) {
+        return s;
+    }
+    return getFileAttr(u);
+}
+
+util::Result<LookupReply>
+decodeLookupReply(const std::vector<uint8_t> &body)
+{
+    rpc::Unmarshal u(body);
+    util::Status s = replyStatus(u);
+    if (!s.ok()) {
+        return s;
+    }
+    LookupReply r;
+    r.fh = getFileHandle(u);
+    r.attr = getFileAttr(u);
+    return r;
+}
+
+util::Result<std::vector<uint8_t>>
+decodeReadReply(const std::vector<uint8_t> &body)
+{
+    rpc::Unmarshal u(body);
+    util::Status s = replyStatus(u);
+    if (!s.ok()) {
+        return s;
+    }
+    getFileAttr(u);
+    return u.getOpaque();
+}
+
+util::Status
+decodeWriteReply(const std::vector<uint8_t> &body)
+{
+    rpc::Unmarshal u(body);
+    return replyStatus(u);
+}
+
+util::Result<std::string>
+decodeReadLinkReply(const std::vector<uint8_t> &body)
+{
+    rpc::Unmarshal u(body);
+    util::Status s = replyStatus(u);
+    if (!s.ok()) {
+        return s;
+    }
+    return u.getString();
+}
+
+util::Result<std::vector<DirEntry>>
+decodeReadDirReply(const std::vector<uint8_t> &body)
+{
+    rpc::Unmarshal u(body);
+    util::Status s = replyStatus(u);
+    if (!s.ok()) {
+        return s;
+    }
+    return getDirEntries(u);
+}
+
+util::Result<FsStat>
+decodeStatFsReply(const std::vector<uint8_t> &body)
+{
+    rpc::Unmarshal u(body);
+    util::Status s = replyStatus(u);
+    if (!s.ok()) {
+        return s;
+    }
+    return getFsStat(u);
+}
+
+} // namespace
+
+// ----------------------------------------------------------------------
+// DxBackend
+// ----------------------------------------------------------------------
+
+DxBackend::DxBackend(rmem::RmemEngine &engine, mem::Process &clerkProcess,
+                     const ServerAreaHandles &areas,
+                     const CacheGeometry &geometry,
+                     rpc::Hybrid1Client *fallback)
+    : engine_(engine), process_(clerkProcess), areas_(areas), geo_(geometry),
+      fallback_(fallback)
+{
+    uint32_t bytes = kScratchSlots * kScratchSlotBytes;
+    scratchBase_ = process_.space().allocRegion(bytes);
+    auto h = engine_.exportSegment(process_, scratchBase_, bytes,
+                                   rmem::Rights::kRead,
+                                   rmem::NotifyPolicy::kNever, "dx.scratch");
+    if (!h.ok()) {
+        REMORA_FATAL("dx backend: cannot export scratch: " +
+                     h.status().toString());
+    }
+    scratchSeg_ = h.value().descriptor;
+}
+
+uint32_t
+DxBackend::scratchSlot()
+{
+    return (scratchCursor_++ % kScratchSlots) * kScratchSlotBytes;
+}
+
+sim::Task<util::Result<std::vector<uint8_t>>>
+DxBackend::fetch(const rmem::ImportedSegment &area, uint64_t areaOff,
+                 uint32_t count)
+{
+    REMORA_ASSERT(count <= kScratchSlotBytes);
+    uint32_t slot = scratchSlot();
+    rmem::ReadOutcome out = co_await engine_.read(
+        area, static_cast<uint32_t>(areaOff), scratchSeg_, slot, count,
+        false, kDxReadTimeout);
+    if (!out.status.ok()) {
+        co_return out.status;
+    }
+    co_return std::move(out.data);
+}
+
+sim::Task<util::Status>
+DxBackend::null()
+{
+    // Pure data transfer has no server ping: nothing to do.
+    co_return util::Status();
+}
+
+sim::Task<util::Result<FileAttr>>
+DxBackend::getattr(FileHandle fh)
+{
+    uint32_t bucket = attrBucket(fh.key(), geo_.attrBuckets);
+    auto bytes = co_await fetch(areas_.attr,
+                                static_cast<uint64_t>(bucket) * kAttrRecBytes,
+                                kAttrRecBytes);
+    if (bytes.ok()) {
+        AttrRecord rec = AttrRecord::decode(bytes.value());
+        if (rec.flag == kSlotValid && rec.fhKey == fh.key()) {
+            co_return rec.attr;
+        }
+    } else if (bytes.status().code() == util::ErrorCode::kTimeout) {
+        co_return bytes.status();
+    }
+    ++misses_;
+    if (fallback_ != nullptr) {
+        auto reply = co_await fallback_->call(encodeGetAttrCall(fh));
+        if (!reply.ok()) {
+            co_return reply.status();
+        }
+        co_return decodeAttrReply(reply.value());
+    }
+    co_return util::Status(util::ErrorCode::kNotFound,
+                           "attr not in server cache");
+}
+
+sim::Task<util::Result<LookupReply>>
+DxBackend::lookup(FileHandle dir, const std::string &name)
+{
+    uint32_t bucket = nameBucket(dir.key(), name, geo_.nameBuckets);
+    auto bytes = co_await fetch(areas_.name,
+                                static_cast<uint64_t>(bucket) * kNameRecBytes,
+                                kNameRecBytes);
+    if (bytes.ok()) {
+        NameLookupRecord rec = NameLookupRecord::decode(bytes.value());
+        if (rec.flag == kSlotValid && rec.dirKey == dir.key() &&
+            rec.name == name) {
+            co_return LookupReply{FileHandle::fromKey(rec.childKey),
+                                  rec.childAttr};
+        }
+    } else if (bytes.status().code() == util::ErrorCode::kTimeout) {
+        co_return bytes.status();
+    }
+    ++misses_;
+    if (fallback_ != nullptr) {
+        auto reply = co_await fallback_->call(encodeLookupCall(dir, name));
+        if (!reply.ok()) {
+            co_return reply.status();
+        }
+        co_return decodeLookupReply(reply.value());
+    }
+    co_return util::Status(util::ErrorCode::kNotFound,
+                           "name not in server cache");
+}
+
+sim::Task<util::Result<std::vector<uint8_t>>>
+DxBackend::read(FileHandle fh, uint64_t offset, uint32_t count)
+{
+    std::vector<uint8_t> out;
+    out.reserve(count);
+    uint64_t pos = offset;
+    uint64_t end = offset + count;
+
+    while (pos < end) {
+        uint64_t blockNo = pos / kBlockBytes;
+        uint32_t blockOff = static_cast<uint32_t>(pos % kBlockBytes);
+        uint32_t chunk = static_cast<uint32_t>(
+            std::min<uint64_t>(end - pos, kBlockBytes - blockOff));
+        uint32_t slot = dataSlot(fh.key(), blockNo, geo_.dataSlots);
+        uint64_t slotOff = static_cast<uint64_t>(slot) * kDataSlotBytes;
+
+        auto bytes = co_await fetch(
+            areas_.data, slotOff, kDataHeaderBytes + blockOff + chunk);
+        if (!bytes.ok()) {
+            co_return bytes.status();
+        }
+        DataSlotHeader hdr = DataSlotHeader::decode(bytes.value());
+        if (hdr.flag != kSlotValid || hdr.fhKey != fh.key() ||
+            hdr.blockNo != blockNo) {
+            ++misses_;
+            if (fallback_ != nullptr) {
+                auto reply = co_await fallback_->call(
+                    encodeReadCall(fh, offset, count));
+                if (!reply.ok()) {
+                    co_return reply.status();
+                }
+                co_return decodeReadReply(reply.value());
+            }
+            co_return util::Status(util::ErrorCode::kNotFound,
+                                   "block not in server cache");
+        }
+        if (blockOff >= hdr.validBytes) {
+            break; // past end of file
+        }
+        uint32_t take = std::min(chunk, hdr.validBytes - blockOff);
+        auto data = std::span<const uint8_t>(bytes.value())
+                        .subspan(kDataHeaderBytes + blockOff, take);
+        out.insert(out.end(), data.begin(), data.end());
+        pos += take;
+        if (take < chunk) {
+            break; // short block: end of file
+        }
+    }
+    co_return out;
+}
+
+sim::Task<util::Status>
+DxBackend::write(FileHandle fh, uint64_t offset, std::vector<uint8_t> data)
+{
+    uint64_t pos = 0;
+    while (pos < data.size()) {
+        uint64_t abs = offset + pos;
+        uint64_t blockNo = abs / kBlockBytes;
+        uint32_t blockOff = static_cast<uint32_t>(abs % kBlockBytes);
+        uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(
+            data.size() - pos, kBlockBytes - blockOff));
+        uint32_t slot = dataSlot(fh.key(), blockNo, geo_.dataSlots);
+        uint64_t slotOff = static_cast<uint64_t>(slot) * kDataSlotBytes;
+
+        DataSlotHeader hdr;
+        hdr.flag = kSlotValid;
+        hdr.dirty = 1;
+        hdr.fhKey = fh.key();
+        hdr.blockNo = blockNo;
+        hdr.validBytes = blockOff + chunk;
+        std::vector<uint8_t> hdrBuf(kDataHeaderBytes);
+        hdr.encode(hdrBuf);
+
+        auto chunkSpan =
+            std::span<const uint8_t>(data).subspan(pos, chunk);
+        if (blockOff == 0) {
+            // Header and data are contiguous: one remote write.
+            std::vector<uint8_t> buf;
+            buf.reserve(kDataHeaderBytes + chunk);
+            buf.insert(buf.end(), hdrBuf.begin(), hdrBuf.end());
+            buf.insert(buf.end(), chunkSpan.begin(), chunkSpan.end());
+            util::Status ws = co_await engine_.write(
+                areas_.data, static_cast<uint32_t>(slotOff),
+                std::move(buf));
+            if (!ws.ok()) {
+                co_return ws;
+            }
+        } else {
+            // Data first, tag last, so a concurrent reader never sees
+            // a valid tag over missing bytes.
+            util::Status ws = co_await engine_.write(
+                areas_.data,
+                static_cast<uint32_t>(slotOff + kDataHeaderBytes +
+                                      blockOff),
+                std::vector<uint8_t>(chunkSpan.begin(), chunkSpan.end()));
+            if (!ws.ok()) {
+                co_return ws;
+            }
+            ws = co_await engine_.write(
+                areas_.data, static_cast<uint32_t>(slotOff),
+                std::move(hdrBuf));
+            if (!ws.ok()) {
+                co_return ws;
+            }
+        }
+        pos += chunk;
+    }
+    co_return util::Status();
+}
+
+sim::Task<util::Result<std::string>>
+DxBackend::readlink(FileHandle fh)
+{
+    uint32_t slot = linkSlot(fh.key(), geo_.linkSlots);
+    auto bytes = co_await fetch(areas_.link,
+                                static_cast<uint64_t>(slot) * kLinkRecBytes,
+                                kLinkRecBytes);
+    if (bytes.ok()) {
+        LinkRecord rec = LinkRecord::decode(bytes.value());
+        if (rec.flag == kSlotValid && rec.fhKey == fh.key()) {
+            co_return rec.target;
+        }
+    } else if (bytes.status().code() == util::ErrorCode::kTimeout) {
+        co_return bytes.status();
+    }
+    ++misses_;
+    if (fallback_ != nullptr) {
+        auto reply = co_await fallback_->call(encodeReadLinkCall(fh));
+        if (!reply.ok()) {
+            co_return reply.status();
+        }
+        co_return decodeReadLinkReply(reply.value());
+    }
+    co_return util::Status(util::ErrorCode::kNotFound,
+                           "symlink not in server cache");
+}
+
+sim::Task<util::Result<std::vector<DirEntry>>>
+DxBackend::readdir(FileHandle fh, uint32_t maxBytes)
+{
+    uint32_t slot = dirSlot(fh.key(), geo_.dirSlots);
+    uint32_t want = std::min(maxBytes, kDirSlotBytes - kDirHeaderBytes);
+    auto bytes = co_await fetch(areas_.dir,
+                                static_cast<uint64_t>(slot) * kDirSlotBytes,
+                                kDirHeaderBytes + want);
+    if (bytes.ok()) {
+        DirSlotHeader hdr = DirSlotHeader::decode(bytes.value());
+        if (hdr.flag == kSlotValid && hdr.dirKey == fh.key()) {
+            auto packed = std::span<const uint8_t>(bytes.value())
+                              .subspan(kDirHeaderBytes);
+            co_return unpackDirEntries(packed,
+                                       std::min(hdr.bytes, want));
+        }
+    } else if (bytes.status().code() == util::ErrorCode::kTimeout) {
+        co_return bytes.status();
+    }
+    ++misses_;
+    if (fallback_ != nullptr) {
+        auto reply =
+            co_await fallback_->call(encodeReadDirCall(fh, maxBytes));
+        if (!reply.ok()) {
+            co_return reply.status();
+        }
+        co_return decodeReadDirReply(reply.value());
+    }
+    co_return util::Status(util::ErrorCode::kNotFound,
+                           "directory not in server cache");
+}
+
+sim::Task<util::Result<FsStat>>
+DxBackend::statfs()
+{
+    auto bytes = co_await fetch(areas_.stat, 0, kStatRecBytes);
+    if (bytes.ok()) {
+        StatRecord rec = StatRecord::decode(bytes.value());
+        if (rec.flag == kSlotValid) {
+            co_return rec.stat;
+        }
+    } else if (bytes.status().code() == util::ErrorCode::kTimeout) {
+        co_return bytes.status();
+    }
+    ++misses_;
+    co_return util::Status(util::ErrorCode::kNotFound,
+                           "statistics not in server cache");
+}
+
+// ----------------------------------------------------------------------
+// HyBackend
+// ----------------------------------------------------------------------
+
+sim::Task<util::Result<std::vector<uint8_t>>>
+HyBackend::roundTrip(std::vector<uint8_t> body)
+{
+    auto reply = co_await client_.call(std::move(body));
+    co_return reply;
+}
+
+sim::Task<util::Status>
+HyBackend::null()
+{
+    auto reply = co_await roundTrip(encodeNullCall());
+    co_return reply.ok() ? decodeWriteReply(reply.value()) : reply.status();
+}
+
+sim::Task<util::Result<FileAttr>>
+HyBackend::getattr(FileHandle fh)
+{
+    auto reply = co_await roundTrip(encodeGetAttrCall(fh));
+    if (!reply.ok()) {
+        co_return reply.status();
+    }
+    co_return decodeAttrReply(reply.value());
+}
+
+sim::Task<util::Result<LookupReply>>
+HyBackend::lookup(FileHandle dir, const std::string &name)
+{
+    auto reply = co_await roundTrip(encodeLookupCall(dir, name));
+    if (!reply.ok()) {
+        co_return reply.status();
+    }
+    co_return decodeLookupReply(reply.value());
+}
+
+sim::Task<util::Result<std::vector<uint8_t>>>
+HyBackend::read(FileHandle fh, uint64_t offset, uint32_t count)
+{
+    auto reply = co_await roundTrip(encodeReadCall(fh, offset, count));
+    if (!reply.ok()) {
+        co_return reply.status();
+    }
+    co_return decodeReadReply(reply.value());
+}
+
+sim::Task<util::Status>
+HyBackend::write(FileHandle fh, uint64_t offset, std::vector<uint8_t> data)
+{
+    auto reply = co_await roundTrip(encodeWriteCall(fh, offset, data));
+    co_return reply.ok() ? decodeWriteReply(reply.value()) : reply.status();
+}
+
+sim::Task<util::Result<std::string>>
+HyBackend::readlink(FileHandle fh)
+{
+    auto reply = co_await roundTrip(encodeReadLinkCall(fh));
+    if (!reply.ok()) {
+        co_return reply.status();
+    }
+    co_return decodeReadLinkReply(reply.value());
+}
+
+sim::Task<util::Result<std::vector<DirEntry>>>
+HyBackend::readdir(FileHandle fh, uint32_t maxBytes)
+{
+    auto reply = co_await roundTrip(encodeReadDirCall(fh, maxBytes));
+    if (!reply.ok()) {
+        co_return reply.status();
+    }
+    co_return decodeReadDirReply(reply.value());
+}
+
+sim::Task<util::Result<FsStat>>
+HyBackend::statfs()
+{
+    auto reply = co_await roundTrip(encodeStatFsCall(FileHandle{}));
+    if (!reply.ok()) {
+        co_return reply.status();
+    }
+    co_return decodeStatFsReply(reply.value());
+}
+
+// ----------------------------------------------------------------------
+// RpcBackend
+// ----------------------------------------------------------------------
+
+sim::Task<util::Result<std::vector<uint8_t>>>
+RpcBackend::roundTrip(std::vector<uint8_t> body)
+{
+    auto reply = co_await transport_.call(server_, 1, std::move(body));
+    co_return reply;
+}
+
+sim::Task<util::Status>
+RpcBackend::null()
+{
+    auto reply = co_await roundTrip(encodeNullCall());
+    co_return reply.ok() ? decodeWriteReply(reply.value()) : reply.status();
+}
+
+sim::Task<util::Result<FileAttr>>
+RpcBackend::getattr(FileHandle fh)
+{
+    auto reply = co_await roundTrip(encodeGetAttrCall(fh));
+    if (!reply.ok()) {
+        co_return reply.status();
+    }
+    co_return decodeAttrReply(reply.value());
+}
+
+sim::Task<util::Result<LookupReply>>
+RpcBackend::lookup(FileHandle dir, const std::string &name)
+{
+    auto reply = co_await roundTrip(encodeLookupCall(dir, name));
+    if (!reply.ok()) {
+        co_return reply.status();
+    }
+    co_return decodeLookupReply(reply.value());
+}
+
+sim::Task<util::Result<std::vector<uint8_t>>>
+RpcBackend::read(FileHandle fh, uint64_t offset, uint32_t count)
+{
+    auto reply = co_await roundTrip(encodeReadCall(fh, offset, count));
+    if (!reply.ok()) {
+        co_return reply.status();
+    }
+    co_return decodeReadReply(reply.value());
+}
+
+sim::Task<util::Status>
+RpcBackend::write(FileHandle fh, uint64_t offset, std::vector<uint8_t> data)
+{
+    auto reply = co_await roundTrip(encodeWriteCall(fh, offset, data));
+    co_return reply.ok() ? decodeWriteReply(reply.value()) : reply.status();
+}
+
+sim::Task<util::Result<std::string>>
+RpcBackend::readlink(FileHandle fh)
+{
+    auto reply = co_await roundTrip(encodeReadLinkCall(fh));
+    if (!reply.ok()) {
+        co_return reply.status();
+    }
+    co_return decodeReadLinkReply(reply.value());
+}
+
+sim::Task<util::Result<std::vector<DirEntry>>>
+RpcBackend::readdir(FileHandle fh, uint32_t maxBytes)
+{
+    auto reply = co_await roundTrip(encodeReadDirCall(fh, maxBytes));
+    if (!reply.ok()) {
+        co_return reply.status();
+    }
+    co_return decodeReadDirReply(reply.value());
+}
+
+sim::Task<util::Result<FsStat>>
+RpcBackend::statfs()
+{
+    auto reply = co_await roundTrip(encodeStatFsCall(FileHandle{}));
+    if (!reply.ok()) {
+        co_return reply.status();
+    }
+    co_return decodeStatFsReply(reply.value());
+}
+
+} // namespace remora::dfs

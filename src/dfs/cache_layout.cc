@@ -1,0 +1,227 @@
+#include "dfs/cache_layout.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/bytes.h"
+#include "util/panic.h"
+
+namespace remora::dfs {
+
+namespace {
+
+/** Write the 56-byte flat attribute block. */
+void
+putAttr(util::ByteWriter &w, const FileAttr &a)
+{
+    w.putU32(static_cast<uint32_t>(a.type));
+    w.putU32(a.mode);
+    w.putU32(a.nlink);
+    w.putU32(a.uid);
+    w.putU32(a.gid);
+    w.putU64(a.size);
+    w.putU64(a.bytesUsed);
+    w.putU64(a.fileid);
+    w.putU32(a.atime);
+    w.putU32(a.mtime);
+    w.putU32(a.ctime);
+}
+
+FileAttr
+getAttr(util::ByteReader &r)
+{
+    FileAttr a;
+    a.type = static_cast<FileType>(r.getU32());
+    a.mode = r.getU32();
+    a.nlink = r.getU32();
+    a.uid = r.getU32();
+    a.gid = r.getU32();
+    a.size = r.getU64();
+    a.bytesUsed = r.getU64();
+    a.fileid = r.getU64();
+    a.atime = r.getU32();
+    a.mtime = r.getU32();
+    a.ctime = r.getU32();
+    return a;
+}
+
+/** Copy an encoded buffer into @p out, zero-padding to @p bytes. */
+void
+emit(util::ByteWriter &w, std::span<uint8_t> out, uint32_t bytes)
+{
+    auto data = w.bytes();
+    REMORA_ASSERT(data.size() <= bytes);
+    REMORA_ASSERT(out.size() >= bytes);
+    std::memcpy(out.data(), data.data(), data.size());
+    std::memset(out.data() + data.size(), 0, bytes - data.size());
+}
+
+} // namespace
+
+void
+AttrRecord::encode(std::span<uint8_t> out) const
+{
+    util::ByteWriter w(kAttrRecBytes);
+    w.putU32(flag);
+    w.putU32(0);
+    w.putU64(fhKey);
+    putAttr(w, attr);
+    emit(w, out, kAttrRecBytes);
+}
+
+AttrRecord
+AttrRecord::decode(std::span<const uint8_t> in)
+{
+    REMORA_ASSERT(in.size() >= kAttrRecBytes);
+    util::ByteReader r(in);
+    AttrRecord rec;
+    rec.flag = r.getU32();
+    r.skip(4);
+    rec.fhKey = r.getU64();
+    rec.attr = getAttr(r);
+    return rec;
+}
+
+void
+NameLookupRecord::encode(std::span<uint8_t> out) const
+{
+    REMORA_ASSERT(name.size() <= 79);
+    util::ByteWriter w(kNameRecBytes);
+    w.putU32(flag);
+    w.putU32(0);
+    w.putU64(dirKey);
+    w.putU64(childKey);
+    putAttr(w, childAttr);
+    w.putU8(static_cast<uint8_t>(name.size()));
+    w.putBytes(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t *>(name.data()), name.size()));
+    emit(w, out, kNameRecBytes);
+}
+
+NameLookupRecord
+NameLookupRecord::decode(std::span<const uint8_t> in)
+{
+    REMORA_ASSERT(in.size() >= kNameRecBytes);
+    util::ByteReader r(in);
+    NameLookupRecord rec;
+    rec.flag = r.getU32();
+    r.skip(4);
+    rec.dirKey = r.getU64();
+    rec.childKey = r.getU64();
+    rec.childAttr = getAttr(r);
+    uint8_t len = r.getU8();
+    auto nameBytes = r.viewBytes(std::min<size_t>(len, 79));
+    rec.name.assign(reinterpret_cast<const char *>(nameBytes.data()),
+                    nameBytes.size());
+    return rec;
+}
+
+void
+DataSlotHeader::encode(std::span<uint8_t> out) const
+{
+    util::ByteWriter w(kDataHeaderBytes);
+    w.putU32(flag);
+    w.putU32(dirty);
+    w.putU64(fhKey);
+    w.putU64(blockNo);
+    w.putU32(validBytes);
+    emit(w, out, kDataHeaderBytes);
+}
+
+DataSlotHeader
+DataSlotHeader::decode(std::span<const uint8_t> in)
+{
+    REMORA_ASSERT(in.size() >= kDataHeaderBytes);
+    util::ByteReader r(in);
+    DataSlotHeader h;
+    h.flag = r.getU32();
+    h.dirty = r.getU32();
+    h.fhKey = r.getU64();
+    h.blockNo = r.getU64();
+    h.validBytes = r.getU32();
+    return h;
+}
+
+void
+DirSlotHeader::encode(std::span<uint8_t> out) const
+{
+    util::ByteWriter w(kDirHeaderBytes);
+    w.putU32(flag);
+    w.putU32(0);
+    w.putU64(dirKey);
+    w.putU32(bytes);
+    w.putU32(entryCount);
+    emit(w, out, kDirHeaderBytes);
+}
+
+DirSlotHeader
+DirSlotHeader::decode(std::span<const uint8_t> in)
+{
+    REMORA_ASSERT(in.size() >= kDirHeaderBytes);
+    util::ByteReader r(in);
+    DirSlotHeader h;
+    h.flag = r.getU32();
+    r.skip(4);
+    h.dirKey = r.getU64();
+    h.bytes = r.getU32();
+    h.entryCount = r.getU32();
+    return h;
+}
+
+void
+LinkRecord::encode(std::span<uint8_t> out) const
+{
+    REMORA_ASSERT(target.size() <= 107);
+    util::ByteWriter w(kLinkRecBytes);
+    w.putU32(flag);
+    w.putU64(fhKey);
+    w.putU32(static_cast<uint32_t>(target.size()));
+    w.putBytes(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t *>(target.data()), target.size()));
+    emit(w, out, kLinkRecBytes);
+}
+
+LinkRecord
+LinkRecord::decode(std::span<const uint8_t> in)
+{
+    REMORA_ASSERT(in.size() >= kLinkRecBytes);
+    util::ByteReader r(in);
+    LinkRecord rec;
+    rec.flag = r.getU32();
+    rec.fhKey = r.getU64();
+    uint32_t len = r.getU32();
+    auto bytes = r.viewBytes(std::min<size_t>(len, 107));
+    rec.target.assign(reinterpret_cast<const char *>(bytes.data()),
+                      bytes.size());
+    return rec;
+}
+
+void
+StatRecord::encode(std::span<uint8_t> out) const
+{
+    util::ByteWriter w(kStatRecBytes);
+    w.putU32(flag);
+    w.putU32(0);
+    w.putU64(stat.totalBytes);
+    w.putU64(stat.freeBytes);
+    w.putU64(stat.totalFiles);
+    w.putU32(stat.blockSize);
+    emit(w, out, kStatRecBytes);
+}
+
+StatRecord
+StatRecord::decode(std::span<const uint8_t> in)
+{
+    REMORA_ASSERT(in.size() >= kStatRecBytes);
+    util::ByteReader r(in);
+    StatRecord rec;
+    rec.flag = r.getU32();
+    r.skip(4);
+    rec.stat.totalBytes = r.getU64();
+    rec.stat.freeBytes = r.getU64();
+    rec.stat.totalFiles = r.getU64();
+    rec.stat.blockSize = r.getU32();
+    return rec;
+}
+
+} // namespace remora::dfs

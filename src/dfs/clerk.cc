@@ -1,0 +1,261 @@
+#include "dfs/clerk.h"
+
+#include <algorithm>
+
+namespace remora::dfs {
+
+ServerClerk::ServerClerk(sim::CpuResource &cpu, FileServiceBackend &backend,
+                         const ClerkParams &params)
+    : cpu_(cpu), backend_(backend), params_(params),
+      lrpc_(cpu, params.localRpc)
+{}
+
+sim::Task<void>
+ServerClerk::enter()
+{
+    if (params_.chargeLocalRpc) {
+        co_await lrpc_.enterCallee();
+    }
+}
+
+sim::Task<void>
+ServerClerk::leave()
+{
+    if (params_.chargeLocalRpc) {
+        co_await lrpc_.returnToCaller();
+    }
+}
+
+sim::Task<util::Status>
+ServerClerk::null()
+{
+    stats_.requests.inc();
+    co_await enter();
+    stats_.backendCalls.inc();
+    util::Status s = co_await backend_.null();
+    co_await leave();
+    co_return s;
+}
+
+sim::Task<util::Result<FileAttr>>
+ServerClerk::getattr(FileHandle fh)
+{
+    stats_.requests.inc();
+    co_await enter();
+    if (params_.enableLocalCache) {
+        if (auto it = attrCache_.find(fh.key()); it != attrCache_.end()) {
+            stats_.localHits.inc();
+            FileAttr attr = it->second;
+            co_await leave();
+            co_return attr;
+        }
+    }
+    stats_.backendCalls.inc();
+    auto result = co_await backend_.getattr(fh);
+    if (result.ok() && params_.enableLocalCache) {
+        attrCache_[fh.key()] = result.value();
+    }
+    co_await leave();
+    co_return result;
+}
+
+sim::Task<util::Result<LookupReply>>
+ServerClerk::lookup(FileHandle dir, const std::string &name)
+{
+    stats_.requests.inc();
+    co_await enter();
+    auto key = std::make_pair(dir.key(), name);
+    if (params_.enableLocalCache) {
+        if (auto it = nameCache_.find(key); it != nameCache_.end()) {
+            stats_.localHits.inc();
+            LookupReply reply = it->second;
+            co_await leave();
+            co_return reply;
+        }
+    }
+    stats_.backendCalls.inc();
+    auto result = co_await backend_.lookup(dir, name);
+    if (result.ok() && params_.enableLocalCache) {
+        nameCache_[key] = result.value();
+        attrCache_[result.value().fh.key()] = result.value().attr;
+    }
+    co_await leave();
+    co_return result;
+}
+
+sim::Task<util::Result<std::vector<uint8_t>>>
+ServerClerk::read(FileHandle fh, uint64_t offset, uint32_t count)
+{
+    stats_.requests.inc();
+    co_await enter();
+
+    std::vector<uint8_t> out;
+    out.reserve(count);
+    uint64_t pos = offset;
+    uint64_t end = offset + count;
+    bool allLocal = params_.enableLocalCache;
+
+    // Try to assemble the whole range from locally cached blocks.
+    while (allLocal && pos < end) {
+        uint64_t blockNo = pos / kBlockBytes;
+        uint32_t blockOff = static_cast<uint32_t>(pos % kBlockBytes);
+        auto it = blockCache_.find({fh.key(), blockNo});
+        if (it == blockCache_.end() || it->second.size() < blockOff) {
+            allLocal = false;
+            break;
+        }
+        uint32_t chunk = static_cast<uint32_t>(
+            std::min<uint64_t>(end - pos, kBlockBytes - blockOff));
+        uint32_t avail = static_cast<uint32_t>(it->second.size()) - blockOff;
+        uint32_t take = std::min(chunk, avail);
+        out.insert(out.end(), it->second.begin() + blockOff,
+                   it->second.begin() + blockOff + take);
+        pos += take;
+        if (take < chunk) {
+            break; // end of file inside a cached short block
+        }
+    }
+    if (allLocal) {
+        stats_.localHits.inc();
+        co_await leave();
+        co_return out;
+    }
+
+    stats_.backendCalls.inc();
+    auto result = co_await backend_.read(fh, offset, count);
+    if (result.ok() && params_.enableLocalCache &&
+        offset % kBlockBytes == 0) {
+        // Cache whole blocks from block-aligned reads.
+        const auto &data = result.value();
+        for (uint64_t p = 0; p < data.size(); p += kBlockBytes) {
+            size_t len = std::min<size_t>(kBlockBytes, data.size() - p);
+            blockCache_[{fh.key(), offset / kBlockBytes + p / kBlockBytes}] =
+                std::vector<uint8_t>(data.begin() + static_cast<long>(p),
+                                     data.begin() +
+                                         static_cast<long>(p + len));
+        }
+    }
+    co_await leave();
+    co_return result;
+}
+
+sim::Task<util::Status>
+ServerClerk::write(FileHandle fh, uint64_t offset, std::vector<uint8_t> data)
+{
+    stats_.requests.inc();
+    co_await enter();
+    if (params_.enableLocalCache && offset % kBlockBytes == 0) {
+        for (uint64_t p = 0; p < data.size(); p += kBlockBytes) {
+            size_t len = std::min<size_t>(kBlockBytes, data.size() - p);
+            blockCache_[{fh.key(), offset / kBlockBytes + p / kBlockBytes}] =
+                std::vector<uint8_t>(data.begin() + static_cast<long>(p),
+                                     data.begin() +
+                                         static_cast<long>(p + len));
+        }
+    }
+    attrCache_.erase(fh.key()); // size/mtime changed
+    stats_.backendCalls.inc();
+    util::Status s = co_await backend_.write(fh, offset, std::move(data));
+    co_await leave();
+    co_return s;
+}
+
+sim::Task<util::Result<std::string>>
+ServerClerk::readlink(FileHandle fh)
+{
+    stats_.requests.inc();
+    co_await enter();
+    if (params_.enableLocalCache) {
+        if (auto it = linkCache_.find(fh.key()); it != linkCache_.end()) {
+            stats_.localHits.inc();
+            std::string target = it->second;
+            co_await leave();
+            co_return target;
+        }
+    }
+    stats_.backendCalls.inc();
+    auto result = co_await backend_.readlink(fh);
+    if (result.ok() && params_.enableLocalCache) {
+        linkCache_[fh.key()] = result.value();
+    }
+    co_await leave();
+    co_return result;
+}
+
+sim::Task<util::Result<std::vector<DirEntry>>>
+ServerClerk::readdir(FileHandle fh, uint32_t maxBytes)
+{
+    stats_.requests.inc();
+    co_await enter();
+    if (params_.enableLocalCache) {
+        if (auto it = dirCache_.find(fh.key()); it != dirCache_.end()) {
+            stats_.localHits.inc();
+            std::vector<DirEntry> entries = it->second;
+            co_await leave();
+            co_return entries;
+        }
+    }
+    stats_.backendCalls.inc();
+    auto result = co_await backend_.readdir(fh, maxBytes);
+    if (result.ok() && params_.enableLocalCache) {
+        dirCache_[fh.key()] = result.value();
+    }
+    co_await leave();
+    co_return result;
+}
+
+sim::Task<util::Result<FsStat>>
+ServerClerk::statfs()
+{
+    stats_.requests.inc();
+    co_await enter();
+    if (params_.enableLocalCache && statValid_) {
+        stats_.localHits.inc();
+        FsStat s = statCache_;
+        co_await leave();
+        co_return s;
+    }
+    stats_.backendCalls.inc();
+    auto result = co_await backend_.statfs();
+    if (result.ok() && params_.enableLocalCache) {
+        statCache_ = result.value();
+        statValid_ = true;
+    }
+    co_await leave();
+    co_return result;
+}
+
+void
+ServerClerk::invalidateAll()
+{
+    attrCache_.clear();
+    nameCache_.clear();
+    blockCache_.clear();
+    linkCache_.clear();
+    dirCache_.clear();
+    statValid_ = false;
+}
+
+void
+ServerClerk::invalidate(FileHandle fh)
+{
+    attrCache_.erase(fh.key());
+    linkCache_.erase(fh.key());
+    dirCache_.erase(fh.key());
+    for (auto it = blockCache_.begin(); it != blockCache_.end();) {
+        if (it->first.first == fh.key()) {
+            it = blockCache_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    for (auto it = nameCache_.begin(); it != nameCache_.end();) {
+        if (it->first.first == fh.key()) {
+            it = nameCache_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace remora::dfs

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The server clerk: the client-machine half of the file service (§3.2).
+ *
+ * "Each distributed service has server clerks that execute on the
+ * client machines. All client-server interactions are done through
+ * local cross-address-space communication between the client and the
+ * server clerk." The clerk keeps the four local cache areas of §5.1
+ * (file data, name lookup, file attributes, directory entries — plus
+ * symlinks) and goes to the server through whichever transfer backend
+ * it was built with, so the identical caching clerk runs over DX, HY,
+ * or conventional RPC.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dfs/backend.h"
+#include "rpc/local_rpc.h"
+#include "sim/stats.h"
+
+namespace remora::dfs {
+
+/** Clerk behaviour knobs. */
+struct ClerkParams
+{
+    /** Serve repeat requests from the clerk's local caches. */
+    bool enableLocalCache = true;
+    /** Local RPC transition costs (client <-> clerk). */
+    rpc::LocalRpcCosts localRpc;
+    /** Charge the client<->clerk local RPC on each operation. */
+    bool chargeLocalRpc = true;
+};
+
+/** Clerk statistics. */
+struct ClerkStats
+{
+    sim::Counter requests;
+    sim::Counter localHits;
+    sim::Counter backendCalls;
+};
+
+/** Client-side clerk of the distributed file service. */
+class ServerClerk
+{
+  public:
+    /**
+     * @param cpu The client node's CPU (local RPC costs land here).
+     * @param backend The clerk-to-server transfer path (not owned).
+     * @param params Behaviour knobs.
+     */
+    ServerClerk(sim::CpuResource &cpu, FileServiceBackend &backend,
+                const ClerkParams &params = {});
+
+    /** NULL ping straight through to the backend. */
+    sim::Task<util::Status> null();
+
+    /** Attributes of @p fh (attribute cache area). */
+    sim::Task<util::Result<FileAttr>> getattr(FileHandle fh);
+
+    /** Resolve @p name under @p dir (name-lookup cache area). */
+    sim::Task<util::Result<LookupReply>> lookup(FileHandle dir,
+                                                const std::string &name);
+
+    /** Read file data (file-data cache area, block granular). */
+    sim::Task<util::Result<std::vector<uint8_t>>> read(FileHandle fh,
+                                                       uint64_t offset,
+                                                       uint32_t count);
+
+    /** Write file data (write-through to the backend). */
+    sim::Task<util::Status> write(FileHandle fh, uint64_t offset,
+                                  std::vector<uint8_t> data);
+
+    /** Symlink target (symlink cache area). */
+    sim::Task<util::Result<std::string>> readlink(FileHandle fh);
+
+    /** Directory entries (directory-contents cache area). */
+    sim::Task<util::Result<std::vector<DirEntry>>> readdir(
+        FileHandle fh, uint32_t maxBytes);
+
+    /** Filesystem statistics (cached briefly). */
+    sim::Task<util::Result<FsStat>> statfs();
+
+    /** Drop every locally cached datum. */
+    void invalidateAll();
+
+    /** Drop cached state for one file handle. */
+    void invalidate(FileHandle fh);
+
+    /** Counters. */
+    const ClerkStats &stats() const { return stats_; }
+
+    /** The transfer backend in use. */
+    FileServiceBackend &backend() { return backend_; }
+
+  private:
+    /** Charge the client->clerk local RPC call path. */
+    sim::Task<void> enter();
+
+    /** Charge the clerk->client local RPC return path. */
+    sim::Task<void> leave();
+
+    sim::CpuResource &cpu_;
+    FileServiceBackend &backend_;
+    ClerkParams params_;
+    rpc::LocalRpc lrpc_;
+
+    // The clerk-side cache areas (§5.1), keyed like the server's.
+    std::unordered_map<uint64_t, FileAttr> attrCache_;
+    std::map<std::pair<uint64_t, std::string>, LookupReply> nameCache_;
+    std::map<std::pair<uint64_t, uint64_t>, std::vector<uint8_t>>
+        blockCache_;
+    std::unordered_map<uint64_t, std::string> linkCache_;
+    std::unordered_map<uint64_t, std::vector<DirEntry>> dirCache_;
+    bool statValid_ = false;
+    FsStat statCache_;
+
+    ClerkStats stats_;
+};
+
+} // namespace remora::dfs

@@ -1,0 +1,307 @@
+#include "dfs/file_store.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/panic.h"
+
+namespace remora::dfs {
+
+namespace {
+
+util::Status
+noEnt(const std::string &what)
+{
+    return util::Status(util::ErrorCode::kNotFound, what);
+}
+
+util::Status
+badHandle()
+{
+    return util::Status(util::ErrorCode::kBadDescriptor,
+                        "stale or invalid file handle");
+}
+
+} // namespace
+
+FileStore::FileStore()
+{
+    uint32_t ino = allocInode(FileType::kDirectory);
+    root_ = FileHandle{ino, inodes_[ino].generation};
+    Inode &r = inodes_[ino];
+    r.entries["."] = ino;
+    r.entries[".."] = ino;
+    r.attr.nlink = 2;
+}
+
+const FileStore::Inode *
+FileStore::find(FileHandle fh) const
+{
+    if (fh.inode >= inodes_.size()) {
+        return nullptr;
+    }
+    const Inode &n = inodes_[fh.inode];
+    if (!n.live || n.generation != fh.generation) {
+        return nullptr;
+    }
+    return &n;
+}
+
+FileStore::Inode *
+FileStore::find(FileHandle fh)
+{
+    return const_cast<Inode *>(
+        static_cast<const FileStore *>(this)->find(fh));
+}
+
+uint32_t
+FileStore::allocInode(FileType type)
+{
+    uint32_t ino = static_cast<uint32_t>(inodes_.size());
+    inodes_.emplace_back();
+    Inode &n = inodes_.back();
+    n.live = true;
+    n.generation = 1;
+    n.attr.type = type;
+    n.attr.fileid = ino;
+    n.attr.mode = type == FileType::kDirectory ? 0755 : 0644;
+    n.attr.atime = n.attr.mtime = n.attr.ctime = clock_++;
+    ++liveInodes_;
+    return ino;
+}
+
+util::Status
+FileStore::link(FileHandle parent, const std::string &name, uint32_t ino)
+{
+    Inode *dir = find(parent);
+    if (dir == nullptr) {
+        return badHandle();
+    }
+    if (dir->attr.type != FileType::kDirectory) {
+        return util::Status(util::ErrorCode::kInvalidArgument,
+                            "parent is not a directory");
+    }
+    if (dir->entries.count(name) != 0) {
+        return util::Status(util::ErrorCode::kAlreadyExists, name);
+    }
+    dir->entries[name] = ino;
+    dir->attr.mtime = clock_++;
+    return {};
+}
+
+util::Result<FileHandle>
+FileStore::lookup(FileHandle dir, const std::string &name) const
+{
+    const Inode *d = find(dir);
+    if (d == nullptr) {
+        return badHandle();
+    }
+    if (d->attr.type != FileType::kDirectory) {
+        return util::Status(util::ErrorCode::kInvalidArgument,
+                            "not a directory");
+    }
+    auto it = d->entries.find(name);
+    if (it == d->entries.end()) {
+        return noEnt("no entry " + name);
+    }
+    const Inode &child = inodes_[it->second];
+    return FileHandle{it->second, child.generation};
+}
+
+util::Result<FileAttr>
+FileStore::getattr(FileHandle fh) const
+{
+    const Inode *n = find(fh);
+    if (n == nullptr) {
+        return badHandle();
+    }
+    return n->attr;
+}
+
+util::Result<std::vector<uint8_t>>
+FileStore::read(FileHandle fh, uint64_t offset, uint32_t count) const
+{
+    const Inode *n = find(fh);
+    if (n == nullptr) {
+        return badHandle();
+    }
+    if (n->attr.type != FileType::kRegular) {
+        return util::Status(util::ErrorCode::kInvalidArgument,
+                            "not a regular file");
+    }
+    if (offset >= n->data.size()) {
+        return std::vector<uint8_t>{};
+    }
+    size_t avail = n->data.size() - offset;
+    size_t take = std::min<size_t>(count, avail);
+    return std::vector<uint8_t>(n->data.begin() + static_cast<long>(offset),
+                                n->data.begin() +
+                                    static_cast<long>(offset + take));
+}
+
+util::Status
+FileStore::write(FileHandle fh, uint64_t offset,
+                 std::span<const uint8_t> data)
+{
+    Inode *n = find(fh);
+    if (n == nullptr) {
+        return badHandle();
+    }
+    if (n->attr.type != FileType::kRegular) {
+        return util::Status(util::ErrorCode::kInvalidArgument,
+                            "not a regular file");
+    }
+    uint64_t end = offset + data.size();
+    if (end > n->data.size()) {
+        bytesStored_ += end - n->data.size();
+        n->data.resize(end, 0);
+        n->attr.size = end;
+        n->attr.bytesUsed = ((end + kBlockBytes - 1) / kBlockBytes) *
+                            kBlockBytes;
+    }
+    std::copy(data.begin(), data.end(),
+              n->data.begin() + static_cast<long>(offset));
+    n->attr.mtime = clock_++;
+    return {};
+}
+
+util::Result<std::string>
+FileStore::readlink(FileHandle fh) const
+{
+    const Inode *n = find(fh);
+    if (n == nullptr) {
+        return badHandle();
+    }
+    if (n->attr.type != FileType::kSymlink) {
+        return util::Status(util::ErrorCode::kInvalidArgument,
+                            "not a symlink");
+    }
+    return n->target;
+}
+
+util::Result<std::vector<DirEntry>>
+FileStore::readdir(FileHandle fh) const
+{
+    const Inode *n = find(fh);
+    if (n == nullptr) {
+        return badHandle();
+    }
+    if (n->attr.type != FileType::kDirectory) {
+        return util::Status(util::ErrorCode::kInvalidArgument,
+                            "not a directory");
+    }
+    std::vector<DirEntry> out;
+    out.reserve(n->entries.size());
+    for (const auto &[name, ino] : n->entries) {
+        out.push_back(DirEntry{ino, name});
+    }
+    return out;
+}
+
+FsStat
+FileStore::statfs() const
+{
+    FsStat s;
+    s.totalBytes = 2ull * 1024 * 1024 * 1024;
+    s.freeBytes = s.totalBytes - bytesStored_;
+    s.totalFiles = liveInodes_;
+    return s;
+}
+
+util::Result<FileHandle>
+FileStore::mkdir(FileHandle parent, const std::string &name)
+{
+    uint32_t ino = allocInode(FileType::kDirectory);
+    util::Status s = link(parent, name, ino);
+    if (!s.ok()) {
+        inodes_[ino].live = false;
+        --liveInodes_;
+        return s;
+    }
+    Inode &d = inodes_[ino];
+    d.entries["."] = ino;
+    d.entries[".."] = parent.inode;
+    d.attr.nlink = 2;
+    return FileHandle{ino, d.generation};
+}
+
+util::Result<FileHandle>
+FileStore::createFile(FileHandle parent, const std::string &name,
+                      uint64_t size)
+{
+    uint32_t ino = allocInode(FileType::kRegular);
+    util::Status s = link(parent, name, ino);
+    if (!s.ok()) {
+        inodes_[ino].live = false;
+        --liveInodes_;
+        return s;
+    }
+    Inode &f = inodes_[ino];
+    f.data.resize(size);
+    // Deterministic content derived from the inode and position, so
+    // tests can verify end-to-end reads byte for byte.
+    uint64_t seed = util::mix64(ino);
+    for (uint64_t i = 0; i < size; ++i) {
+        f.data[i] = static_cast<uint8_t>(util::mix64(seed + i / 256) >>
+                                         ((i % 8) * 8));
+    }
+    f.attr.size = size;
+    f.attr.bytesUsed =
+        ((size + kBlockBytes - 1) / kBlockBytes) * kBlockBytes;
+    bytesStored_ += size;
+    return FileHandle{ino, f.generation};
+}
+
+util::Result<FileHandle>
+FileStore::symlink(FileHandle parent, const std::string &name,
+                   const std::string &target)
+{
+    uint32_t ino = allocInode(FileType::kSymlink);
+    util::Status s = link(parent, name, ino);
+    if (!s.ok()) {
+        inodes_[ino].live = false;
+        --liveInodes_;
+        return s;
+    }
+    Inode &l = inodes_[ino];
+    l.target = target;
+    l.attr.size = target.size();
+    return FileHandle{ino, l.generation};
+}
+
+util::Status
+FileStore::remove(FileHandle parent, const std::string &name)
+{
+    Inode *dir = find(parent);
+    if (dir == nullptr) {
+        return badHandle();
+    }
+    auto it = dir->entries.find(name);
+    if (it == dir->entries.end()) {
+        return noEnt(name);
+    }
+    Inode &victim = inodes_[it->second];
+    victim.live = false;
+    ++victim.generation; // old handles go stale
+    bytesStored_ -= victim.data.size();
+    victim.data.clear();
+    victim.entries.clear();
+    --liveInodes_;
+    dir->entries.erase(it);
+    dir->attr.mtime = clock_++;
+    return {};
+}
+
+std::vector<FileHandle>
+FileStore::allHandles() const
+{
+    std::vector<FileHandle> out;
+    for (uint32_t i = 0; i < inodes_.size(); ++i) {
+        if (inodes_[i].live) {
+            out.push_back(FileHandle{i, inodes_[i].generation});
+        }
+    }
+    return out;
+}
+
+} // namespace remora::dfs

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The NFS-shaped operation vocabulary and its XDR marshaling.
+ *
+ * The file service "presents an interface similar to NFS, i.e., it
+ * implements operations like those shown earlier in Table 1a" (§5.2).
+ * These procedure numbers and encoders are shared by every access path
+ * (Hybrid-1 backend, conventional-RPC backend, server dispatch) and by
+ * the traffic classifier, which measures the exact bytes these encoders
+ * produce.
+ *
+ * Wire fidelity note: a file handle is marshaled as 32 opaque bytes,
+ * matching NFS v2, even though only 8 are meaningful here — Table 1b's
+ * control-byte accounting depends on the real handle size.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfs/file_store.h"
+#include "rpc/marshal.h"
+#include "util/status.h"
+
+namespace remora::dfs {
+
+/** Procedure numbers of the file service. */
+enum class NfsProc : uint32_t
+{
+    kNull = 0,
+    kGetAttr = 1,
+    kLookup = 4,
+    kReadLink = 5,
+    kRead = 6,
+    kWrite = 8,
+    kReadDir = 16,
+    kStatFs = 17,
+};
+
+/** Human-readable name of a procedure. */
+const char *nfsProcName(NfsProc proc);
+
+/** Marshaled size of a file handle on the wire (NFS v2: 32 bytes). */
+inline constexpr size_t kWireFileHandleBytes = 32;
+
+/** Append a file handle as 32 opaque bytes. */
+void putFileHandle(rpc::Marshal &m, FileHandle fh);
+
+/** Decode a 32-byte file handle. */
+FileHandle getFileHandle(rpc::Unmarshal &u);
+
+/** Append file attributes (17 XDR words, like NFS v2 fattr). */
+void putFileAttr(rpc::Marshal &m, const FileAttr &attr);
+
+/** Decode file attributes. */
+FileAttr getFileAttr(rpc::Unmarshal &u);
+
+/** Append filesystem statistics. */
+void putFsStat(rpc::Marshal &m, const FsStat &s);
+
+/** Decode filesystem statistics. */
+FsStat getFsStat(rpc::Unmarshal &u);
+
+/** Serialize directory entries: count, then (fileid, name) pairs. */
+void putDirEntries(rpc::Marshal &m, const std::vector<DirEntry> &entries);
+
+/** Decode directory entries. */
+std::vector<DirEntry> getDirEntries(rpc::Unmarshal &u);
+
+/**
+ * Flatten directory entries into the compact fixed layout stored in the
+ * server's directory cache area: [fileid u64][len u8][name bytes]...
+ */
+std::vector<uint8_t> packDirEntries(const std::vector<DirEntry> &entries);
+
+/** Parse the compact directory layout (inverse of packDirEntries). */
+std::vector<DirEntry> unpackDirEntries(std::span<const uint8_t> bytes,
+                                       size_t maxBytes);
+
+// ----------------------------------------------------------------------
+// Call bodies: [proc u32][args...], shared by Hybrid-1 and the
+// conventional RPC transport so both carry identical bytes.
+// ----------------------------------------------------------------------
+
+/** NULL ping. */
+std::vector<uint8_t> encodeNullCall();
+
+/** GETATTR(fh). */
+std::vector<uint8_t> encodeGetAttrCall(FileHandle fh);
+
+/** LOOKUP(dir, name). */
+std::vector<uint8_t> encodeLookupCall(FileHandle dir,
+                                      const std::string &name);
+
+/** READLINK(fh). */
+std::vector<uint8_t> encodeReadLinkCall(FileHandle fh);
+
+/** READ(fh, offset, count). */
+std::vector<uint8_t> encodeReadCall(FileHandle fh, uint64_t offset,
+                                    uint32_t count);
+
+/** WRITE(fh, offset, data). */
+std::vector<uint8_t> encodeWriteCall(FileHandle fh, uint64_t offset,
+                                     std::span<const uint8_t> data);
+
+/** READDIR(fh, maxBytes). */
+std::vector<uint8_t> encodeReadDirCall(FileHandle fh, uint32_t maxBytes);
+
+/** STATFS(fh). */
+std::vector<uint8_t> encodeStatFsCall(FileHandle fh);
+
+} // namespace remora::dfs

@@ -1,0 +1,58 @@
+#include "dfs/push_cache.h"
+
+#include "util/panic.h"
+
+namespace remora::dfs {
+
+ClerkPushCache::ClerkPushCache(rmem::RmemEngine &engine, mem::Process &owner,
+                               const PushCacheGeometry &geometry)
+    : engine_(engine), owner_(owner), geo_(geometry)
+{
+    uint32_t bytes = segmentBytes(geo_);
+    base_ = owner_.space().allocRegion(bytes);
+    auto h = engine_.exportSegment(owner_, base_, bytes,
+                                   rmem::Rights::kWrite | rmem::Rights::kRead,
+                                   rmem::NotifyPolicy::kNever, "push.cache");
+    if (!h.ok()) {
+        REMORA_FATAL("push cache: export failed: " + h.status().toString());
+    }
+    handle_ = h.value();
+}
+
+std::optional<FileAttr>
+ClerkPushCache::findAttr(FileHandle fh) const
+{
+    uint32_t bucket = attrBucket(fh.key(), geo_.attrBuckets);
+    std::vector<uint8_t> buf(kAttrRecBytes);
+    util::Status s = owner_.space().read(base_ + attrOffset(bucket), buf);
+    REMORA_ASSERT(s.ok());
+    AttrRecord rec = AttrRecord::decode(buf);
+    if (rec.flag != kSlotValid || rec.fhKey != fh.key()) {
+        return std::nullopt;
+    }
+    ++hits_;
+    return rec.attr;
+}
+
+bool
+ClerkPushCache::findBlock(FileHandle fh, uint64_t blockNo,
+                          std::vector<uint8_t> &out) const
+{
+    uint32_t slot = dataSlot(fh.key(), blockNo, geo_.dataSlots);
+    std::vector<uint8_t> hdrBuf(kDataHeaderBytes);
+    util::Status s = owner_.space().read(base_ + dataOffset(slot), hdrBuf);
+    REMORA_ASSERT(s.ok());
+    DataSlotHeader hdr = DataSlotHeader::decode(hdrBuf);
+    if (hdr.flag != kSlotValid || hdr.fhKey != fh.key() ||
+        hdr.blockNo != blockNo) {
+        return false;
+    }
+    out.resize(hdr.validBytes);
+    s = owner_.space().read(base_ + dataOffset(slot) + kDataHeaderBytes,
+                            out);
+    REMORA_ASSERT(s.ok());
+    ++hits_;
+    return true;
+}
+
+} // namespace remora::dfs

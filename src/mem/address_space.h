@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A process virtual address space over a node's physical memory.
+ *
+ * Provides region allocation (the raw material for exported segments),
+ * byte-level access through the page table (so every remote access in
+ * the simulation really walks translations and can fault), single-word
+ * atomic access used by the remote-memory atomicity guarantee, and
+ * pin/unpin ("application-based pinning/unpinning of virtual memory
+ * pages", §3.1.1).
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "mem/page_table.h"
+#include "mem/phys_mem.h"
+#include "util/status.h"
+
+namespace remora::mem {
+
+/** One process's virtual memory. */
+class AddressSpace
+{
+  public:
+    /**
+     * @param phys Backing physical memory (the owning node's).
+     */
+    explicit AddressSpace(PhysMem &phys);
+
+    AddressSpace(const AddressSpace &) = delete;
+    AddressSpace &operator=(const AddressSpace &) = delete;
+
+    ~AddressSpace();
+
+    /**
+     * Allocate and map a fresh region of @p bytes (page-granular).
+     *
+     * @param bytes Region size; rounded up to whole pages.
+     * @param writable Whether stores are permitted.
+     * @return Page-aligned base virtual address.
+     */
+    Vaddr allocRegion(size_t bytes, bool writable = true);
+
+    /** Unmap and free the pages of a region returned by allocRegion. */
+    void freeRegion(Vaddr base, size_t bytes);
+
+    /**
+     * Copy bytes out of the address space.
+     *
+     * @return kOutOfBounds if any page in the range is unmapped.
+     */
+    util::Status read(Vaddr va, std::span<uint8_t> out) const;
+
+    /**
+     * Copy bytes into the address space.
+     *
+     * @return kOutOfBounds on unmapped pages, kAccessDenied on
+     *         read-only pages.
+     */
+    util::Status write(Vaddr va, std::span<const uint8_t> data);
+
+    /**
+     * Read one naturally-aligned 32-bit word. Word access is the unit
+     * of the local/remote atomicity guarantee.
+     */
+    util::Result<uint32_t> readWord(Vaddr va) const;
+
+    /** Write one naturally-aligned 32-bit word. */
+    util::Status writeWord(Vaddr va, uint32_t value);
+
+    /** Pin the pages covering [va, va+len) for remote access. */
+    util::Status pin(Vaddr va, size_t len);
+
+    /** Unpin the pages covering [va, va+len). */
+    util::Status unpin(Vaddr va, size_t len);
+
+    /** True when every page in [va, va+len) is mapped. */
+    bool isMapped(Vaddr va, size_t len) const;
+
+    /** The translation structure (walked by the kernel emulation). */
+    PageTable &pageTable() { return pageTable_; }
+
+    /** Const access to translations. */
+    const PageTable &pageTable() const { return pageTable_; }
+
+  private:
+    PhysMem &phys_;
+    PageTable pageTable_;
+    Vaddr nextRegion_;
+};
+
+} // namespace remora::mem

@@ -1,0 +1,31 @@
+#include "mem/node.h"
+
+namespace remora::mem {
+
+Node::Node(sim::Simulator &simulator, net::NodeId id, std::string name,
+           const NodeParams &params)
+    : sim_(simulator), id_(id), name_(std::move(name)),
+      mem_(params.memFrames), cpu_(simulator, name_ + ".cpu"),
+      nic_(simulator, params.nic, name_ + ".nic")
+{}
+
+Process &
+Node::spawnProcess(const std::string &name)
+{
+    processes_.push_back(
+        std::make_unique<Process>(nextPid_++, name, mem_));
+    return *processes_.back();
+}
+
+Process *
+Node::findProcess(Pid pid)
+{
+    for (auto &p : processes_) {
+        if (p->pid() == pid) {
+            return p.get();
+        }
+    }
+    return nullptr;
+}
+
+} // namespace remora::mem

@@ -1,0 +1,73 @@
+#include "mem/page_table.h"
+
+#include "util/panic.h"
+
+namespace remora::mem {
+
+namespace {
+
+constexpr size_t
+dirIndex(Vaddr va)
+{
+    return (va >> 22) & 0x3ff;
+}
+
+constexpr size_t
+leafIndex(Vaddr va)
+{
+    return (va >> 12) & 0x3ff;
+}
+
+} // namespace
+
+void
+PageTable::map(Vaddr va, Frame frame, bool writable)
+{
+    REMORA_ASSERT(va < kVaLimit);
+    auto &leaf = dir_[dirIndex(va)];
+    if (!leaf) {
+        leaf = std::make_unique<Leaf>();
+    }
+    Pte &pte = (*leaf)[leafIndex(va)];
+    REMORA_ASSERT(!pte.valid);
+    pte = Pte{frame, true, writable, false};
+    ++mapped_;
+}
+
+void
+PageTable::unmap(Vaddr va)
+{
+    REMORA_ASSERT(va < kVaLimit);
+    auto &leaf = dir_[dirIndex(va)];
+    if (!leaf) {
+        return;
+    }
+    Pte &pte = (*leaf)[leafIndex(va)];
+    if (pte.valid) {
+        pte = Pte{};
+        REMORA_ASSERT(mapped_ > 0);
+        --mapped_;
+    }
+}
+
+Pte *
+PageTable::lookup(Vaddr va)
+{
+    if (va >= kVaLimit) {
+        return nullptr;
+    }
+    auto &leaf = dir_[dirIndex(va)];
+    if (!leaf) {
+        return nullptr;
+    }
+    Pte &pte = (*leaf)[leafIndex(va)];
+    return pte.valid ? &pte : nullptr;
+}
+
+const Pte *
+PageTable::lookup(Vaddr va) const
+{
+    return const_cast<PageTable *>(this)->lookup(va);
+}
+
+} // namespace remora::mem

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Two-level page table for a 32-bit virtual address space.
+ *
+ * The remote-memory kernel emulation reads these tables to translate
+ * segment offsets into physical frames ("The co-processor reads the
+ * address translation tables for that process and writes the data to
+ * memory", §3.1.1). Layout matches an R3000-era software-walked table:
+ * 10-bit directory index, 10-bit table index, 12-bit page offset.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "mem/phys_mem.h"
+
+namespace remora::mem {
+
+/** Virtual address within one process (32-bit usable range). */
+using Vaddr = uint64_t;
+
+/** One page-table entry. */
+struct Pte
+{
+    Frame frame = 0;
+    bool valid = false;
+    bool writable = false;
+    /** Pinned pages may be targeted by remote DMA-style access. */
+    bool pinned = false;
+};
+
+/** Software-walked two-level page table. */
+class PageTable
+{
+  public:
+    /** Entries per directory / per leaf table (10 bits each). */
+    static constexpr size_t kEntries = 1024;
+    /** Highest mappable virtual address + 1 (32-bit space). */
+    static constexpr Vaddr kVaLimit = Vaddr{kEntries} * kEntries * kPageBytes;
+
+    /**
+     * Install a mapping for the page containing @p va.
+     *
+     * @param va Any address inside the page (page-aligned internally).
+     * @param frame Backing physical frame.
+     * @param writable Whether stores are permitted.
+     */
+    void map(Vaddr va, Frame frame, bool writable);
+
+    /** Remove the mapping for the page containing @p va, if any. */
+    void unmap(Vaddr va);
+
+    /**
+     * Look up the PTE for @p va.
+     *
+     * @return Pointer to the live PTE, or nullptr when unmapped. The
+     *         pointer is invalidated by map/unmap of the same page.
+     */
+    Pte *lookup(Vaddr va);
+
+    /** Const lookup. */
+    const Pte *lookup(Vaddr va) const;
+
+    /** Number of valid mappings. */
+    size_t mappedPages() const { return mapped_; }
+
+  private:
+    using Leaf = std::array<Pte, kEntries>;
+    std::array<std::unique_ptr<Leaf>, kEntries> dir_{};
+    size_t mapped_ = 0;
+};
+
+} // namespace remora::mem

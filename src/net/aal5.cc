@@ -1,0 +1,86 @@
+#include "net/aal5.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/bytes.h"
+#include "util/crc.h"
+#include "util/panic.h"
+
+namespace remora::net {
+
+std::vector<Cell>
+aal5Segment(uint16_t vpi, uint16_t vci, std::span<const uint8_t> frame)
+{
+    REMORA_ASSERT(frame.size() <= kMaxFrameBytes);
+
+    // Build the CS-PDU: payload | pad | UU CPI LEN(2) CRC32(4).
+    size_t pduNoPad = frame.size() + 8;
+    size_t cells = (pduNoPad + Cell::kPayloadBytes - 1) / Cell::kPayloadBytes;
+    size_t pduBytes = cells * Cell::kPayloadBytes;
+    size_t padBytes = pduBytes - pduNoPad;
+
+    util::ByteWriter w(pduBytes);
+    w.putBytes(frame);
+    w.putZeros(padBytes);
+    w.putU8(0);                                        // CPCS-UU
+    w.putU8(0);                                        // CPI
+    w.putU16(static_cast<uint16_t>(frame.size()));     // length
+    // CRC over everything before the CRC field itself.
+    uint32_t crc = util::crc32Ieee(w.bytes());
+    w.putU32(crc);
+
+    std::vector<uint8_t> pdu = w.take();
+    REMORA_ASSERT(pdu.size() == pduBytes);
+
+    std::vector<Cell> out;
+    out.reserve(cells);
+    for (size_t i = 0; i < cells; ++i) {
+        Cell c;
+        c.vpi = vpi;
+        c.vci = vci;
+        std::memcpy(c.payload.data(), pdu.data() + i * Cell::kPayloadBytes,
+                    Cell::kPayloadBytes);
+        c.setLastOfFrame(i + 1 == cells);
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::optional<Aal5Reassembler::Frame>
+Aal5Reassembler::feed(const Cell &cell)
+{
+    auto &buf = partial_[cell.vci];
+    buf.insert(buf.end(), cell.payload.begin(), cell.payload.end());
+    if (!cell.lastOfFrame()) {
+        return std::nullopt;
+    }
+
+    std::vector<uint8_t> pdu = std::move(buf);
+    partial_.erase(cell.vci);
+
+    if (pdu.size() < 8) {
+        crcErrors_.inc();
+        return std::nullopt;
+    }
+    util::ByteReader trailer(
+        std::span<const uint8_t>(pdu.data() + pdu.size() - 8, 8));
+    trailer.skip(2); // UU, CPI
+    uint16_t length = trailer.getU16();
+    uint32_t wireCrc = trailer.getU32();
+
+    uint32_t calcCrc = util::crc32Ieee(
+        std::span<const uint8_t>(pdu.data(), pdu.size() - 4));
+    if (calcCrc != wireCrc || length + 8ul > pdu.size()) {
+        crcErrors_.inc();
+        return std::nullopt;
+    }
+
+    framesOk_.inc();
+    Frame f;
+    f.srcVci = cell.vci;
+    f.payload.assign(pdu.begin(), pdu.begin() + length);
+    return f;
+}
+
+} // namespace remora::net

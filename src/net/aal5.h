@@ -1,0 +1,84 @@
+/**
+ * @file
+ * AAL5 segmentation and reassembly.
+ *
+ * Frames (CS-PDUs) are carried as a run of cells on one (vpi, vci) pair;
+ * the last cell is flagged in its PTI. The CS-PDU is the frame payload,
+ * zero padding, and an 8-octet trailer (UU, CPI, 16-bit length, CRC-32)
+ * aligned so the total is a multiple of 48. Reassembly verifies both the
+ * length field and the CRC; a failure is counted and the frame dropped
+ * (the paper treats loss in the cluster as catastrophic, so users of the
+ * reassembler panic on it by default).
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/cell.h"
+#include "sim/stats.h"
+
+namespace remora::net {
+
+/** Maximum frame payload AAL5 can carry (16-bit length field). */
+inline constexpr size_t kMaxFrameBytes = 65535;
+
+/**
+ * Split @p frame into AAL5 cells addressed dst=@p vpi, src=@p vci.
+ *
+ * @param vpi Destination node id placed in every cell.
+ * @param vci Source node id placed in every cell.
+ * @param frame Frame payload, at most kMaxFrameBytes.
+ * @return Cells in transmission order; last one has the end flag.
+ */
+std::vector<Cell> aal5Segment(uint16_t vpi, uint16_t vci,
+                              std::span<const uint8_t> frame);
+
+/** Number of cells a frame of @p payloadBytes occupies on the wire. */
+constexpr size_t
+aal5CellCount(size_t payloadBytes)
+{
+    return (payloadBytes + 8 + Cell::kPayloadBytes - 1) / Cell::kPayloadBytes;
+}
+
+/**
+ * Per-source AAL5 reassembler.
+ *
+ * Feed cells as they drain from the RX FIFO; when an end-of-frame cell
+ * completes a valid CS-PDU the frame payload is returned. Cells from
+ * different sources (VCIs) reassemble independently.
+ */
+class Aal5Reassembler
+{
+  public:
+    /** A completed frame and the source it came from. */
+    struct Frame
+    {
+        uint16_t srcVci;
+        std::vector<uint8_t> payload;
+    };
+
+    /**
+     * Absorb one cell.
+     *
+     * @return A completed frame if @p cell finished one, otherwise
+     *         nullopt (mid-frame cell, or a corrupt frame that was
+     *         dropped and counted).
+     */
+    std::optional<Frame> feed(const Cell &cell);
+
+    /** Frames dropped due to CRC or length mismatch. */
+    uint64_t crcErrors() const { return crcErrors_.value(); }
+
+    /** Frames successfully reassembled. */
+    uint64_t framesOk() const { return framesOk_.value(); }
+
+  private:
+    std::unordered_map<uint16_t, std::vector<uint8_t>> partial_;
+    sim::Counter crcErrors_;
+    sim::Counter framesOk_;
+};
+
+} // namespace remora::net

@@ -1,0 +1,42 @@
+#include "net/cell.h"
+
+#include <algorithm>
+
+#include "util/crc.h"
+
+namespace remora::net {
+
+void
+Cell::encode(std::span<uint8_t, kCellBytes> out) const
+{
+    // UNI format: GFC(4) | VPI(8) | VCI(16) | PTI(3) | CLP(1) | HEC(8).
+    // We use the GFC nibble as VPI bits 11..8 to fit 12-bit node ids.
+    out[0] = static_cast<uint8_t>(((vpi >> 8) & 0x0f) << 4 |
+                                  ((vpi >> 4) & 0x0f));
+    out[1] = static_cast<uint8_t>((vpi & 0x0f) << 4 | ((vci >> 12) & 0x0f));
+    out[2] = static_cast<uint8_t>((vci >> 4) & 0xff);
+    out[3] = static_cast<uint8_t>((vci & 0x0f) << 4 | ((pti & 0x7) << 1) |
+                                  (clp ? 1 : 0));
+    out[4] = util::crc8Hec(std::span<const uint8_t>(out.data(), 4));
+    std::copy(payload.begin(), payload.end(), out.begin() + kHeaderBytes);
+}
+
+util::Result<Cell>
+Cell::decode(std::span<const uint8_t, kCellBytes> in)
+{
+    uint8_t hec = util::crc8Hec(std::span<const uint8_t>(in.data(), 4));
+    if (hec != in[4]) {
+        return util::Status(util::ErrorCode::kMalformed, "HEC mismatch");
+    }
+    Cell c;
+    c.vpi = static_cast<uint16_t>(((in[0] >> 4) & 0x0f) << 8 |
+                                  (in[0] & 0x0f) << 4 | (in[1] >> 4));
+    c.vci = static_cast<uint16_t>((in[1] & 0x0f) << 12 | in[2] << 4 |
+                                  (in[3] >> 4));
+    c.pti = static_cast<uint8_t>((in[3] >> 1) & 0x7);
+    c.clp = (in[3] & 0x1) != 0;
+    std::copy(in.begin() + kHeaderBytes, in.end(), c.payload.begin());
+    return c;
+}
+
+} // namespace remora::net

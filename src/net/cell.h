@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The ATM cell: the unit of transmission on every remora wire.
+ *
+ * A cell is 53 octets: a 5-octet header (VPI, VCI, PTI, CLP, HEC) and a
+ * 48-octet payload. remora uses the header fields the way the FORE
+ * testbed's driver did:
+ *
+ *  - VPI carries the *destination* node id (the switch routes on it),
+ *  - VCI carries the *source* node id (receivers demultiplex AAL5
+ *    reassembly per source),
+ *  - PTI bit 0 is the AAL5 "end of CS-PDU" marker,
+ *  - HEC is a real CRC-8 over the first four header octets (ITU-T I.432
+ *    polynomial with coset 0x55), verified on decode.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "util/status.h"
+
+namespace remora::net {
+
+/** Cluster-unique node address (assigned by the Network builder). */
+using NodeId = uint16_t;
+
+/** One 53-octet ATM cell. */
+struct Cell
+{
+    /** Octets of header on the wire. */
+    static constexpr size_t kHeaderBytes = 5;
+    /** Octets of payload in every cell. */
+    static constexpr size_t kPayloadBytes = 48;
+    /** Total octets on the wire. */
+    static constexpr size_t kCellBytes = kHeaderBytes + kPayloadBytes;
+
+    /** Destination node id (routing key). 12 usable bits. */
+    uint16_t vpi = 0;
+    /** Source node id (reassembly demux key). 16 bits. */
+    uint16_t vci = 0;
+    /** Payload type indicator; bit 0 set marks the last cell of a frame. */
+    uint8_t pti = 0;
+    /** Cell loss priority (unused by remora; kept for format fidelity). */
+    bool clp = false;
+    /** Payload octets. */
+    std::array<uint8_t, kPayloadBytes> payload{};
+
+    /** True when this cell terminates an AAL5 frame. */
+    bool lastOfFrame() const { return (pti & 0x1) != 0; }
+
+    /** Mark / clear the AAL5 end-of-frame indication. */
+    void
+    setLastOfFrame(bool last)
+    {
+        pti = last ? (pti | 0x1) : (pti & ~0x1);
+    }
+
+    /**
+     * Serialize to 53 wire octets, computing the HEC.
+     *
+     * @param out Destination buffer of exactly kCellBytes.
+     */
+    void encode(std::span<uint8_t, kCellBytes> out) const;
+
+    /**
+     * Parse 53 wire octets, verifying the HEC.
+     *
+     * @param in Source buffer of exactly kCellBytes.
+     * @return The cell, or kMalformed if the HEC does not verify.
+     */
+    static util::Result<Cell> decode(std::span<const uint8_t, kCellBytes> in);
+};
+
+} // namespace remora::net

@@ -1,0 +1,94 @@
+#include "net/host_interface.h"
+
+#include "util/panic.h"
+
+namespace remora::net {
+
+HostInterface::HostInterface(sim::Simulator &simulator,
+                             const HostInterfaceParams &params,
+                             std::string name)
+    : sim_(simulator), params_(params), name_(std::move(name))
+{
+    REMORA_ASSERT(params.txFifoCells > 0);
+    REMORA_ASSERT(params.rxFifoCells > 0);
+}
+
+void
+HostInterface::attachTxLink(Link &link)
+{
+    REMORA_ASSERT(txLink_ == nullptr);
+    txLink_ = &link;
+}
+
+void
+HostInterface::setRxInterrupt(std::function<void()> handler)
+{
+    rxInterrupt_ = std::move(handler);
+}
+
+bool
+HostInterface::txSpace(size_t cells) const
+{
+    return txFifo_.size() + cells <= params_.txFifoCells;
+}
+
+void
+HostInterface::pushTx(const Cell &cell)
+{
+    REMORA_ASSERT(txSpace(1));
+    txFifo_.push_back(cell);
+    drainTx();
+}
+
+void
+HostInterface::drainTx()
+{
+    REMORA_ASSERT(txLink_ != nullptr);
+    // The adapter moves cells from FIFO to wire as fast as the link's
+    // own serialization/credit logic accepts them; Link::send queues
+    // internally, so the TX FIFO never backs up in this model. The FIFO
+    // bound still applies to the host-facing side via txSpace().
+    while (!txFifo_.empty()) {
+        txLink_->send(txFifo_.front());
+        txFifo_.pop_front();
+        cellsTx_.inc();
+    }
+}
+
+void
+HostInterface::acceptCell(const Cell &cell)
+{
+    if (rxFifo_.size() >= params_.rxFifoCells) {
+        // Credit flow control should make this unreachable; a drop here
+        // is "catastrophic" per the paper's reliability assumption.
+        REMORA_PANIC("RX FIFO overflow on " + name_ +
+                     " (credit misconfiguration)");
+    }
+    rxFifo_.push_back(cell);
+    cellsRx_.inc();
+    if (!interruptPending_ && rxInterrupt_) {
+        interruptPending_ = true;
+        sim_.schedule(params_.interruptLatency, [this] {
+            interruptPending_ = false;
+            if (rxInterrupt_) {
+                rxInterrupt_();
+            }
+        });
+    }
+}
+
+std::optional<Cell>
+HostInterface::popRx()
+{
+    if (rxFifo_.empty()) {
+        return std::nullopt;
+    }
+    Cell c = rxFifo_.front();
+    rxFifo_.pop_front();
+    if (upstream_ != nullptr) {
+        upstream_->returnCredit();
+    }
+    return c;
+}
+
+} // namespace remora::net

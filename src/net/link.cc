@@ -1,0 +1,77 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+#include "util/panic.h"
+
+namespace remora::net {
+
+Link::Link(sim::Simulator &simulator, const LinkParams &params,
+           std::string name)
+    : sim_(simulator), params_(params), name_(std::move(name)),
+      credits_(params.credits)
+{
+    REMORA_ASSERT(params.bandwidthMbps > 0.0);
+    REMORA_ASSERT(params.credits > 0);
+    double bitsPerCell = Cell::kCellBytes * 8.0;
+    double secs = bitsPerCell / (params.bandwidthMbps * 1e6);
+    cellTime_ = static_cast<sim::Duration>(secs * 1e9 + 0.5);
+}
+
+void
+Link::connect(CellSink &sink)
+{
+    REMORA_ASSERT(sink_ == nullptr);
+    sink_ = &sink;
+    sink.attachUpstream(this);
+}
+
+void
+Link::send(const Cell &cell)
+{
+    REMORA_ASSERT(sink_ != nullptr);
+    queue_.push_back(cell);
+    maxQueue_ = std::max(maxQueue_, queue_.size());
+    pump();
+}
+
+void
+Link::returnCredit(size_t n)
+{
+    // The credit indication travels back along the wire.
+    sim_.schedule(params_.propagation, [this, n] {
+        credits_ += n;
+        pump();
+    });
+}
+
+void
+Link::pump()
+{
+    if (pumpScheduled_) {
+        return;
+    }
+    while (!queue_.empty() && credits_ > 0) {
+        sim::Time now = sim_.now();
+        if (wireFreeAt_ > now) {
+            // Wire busy: try again when it frees up.
+            pumpScheduled_ = true;
+            sim_.scheduleAt(wireFreeAt_, [this] {
+                pumpScheduled_ = false;
+                pump();
+            });
+            return;
+        }
+        Cell cell = queue_.front();
+        queue_.pop_front();
+        --credits_;
+        wireFreeAt_ = now + cellTime_;
+        cellsSent_.inc();
+        // The cell is fully received one serialization + propagation
+        // after transmission starts.
+        sim_.scheduleAt(wireFreeAt_ + params_.propagation,
+                        [this, cell] { sink_->acceptCell(cell); });
+    }
+}
+
+} // namespace remora::net

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unidirectional, credit-flow-controlled point-to-point link.
+ *
+ * The paper's design assumptions (§3) rely on "hardware flow-control ...
+ * that can guarantee that data packets are delivered reliably"; a cell
+ * drop inside the cluster is treated as catastrophic. The Link therefore
+ * never drops: cells queue at the sender until the receiver has both
+ * wire time and buffer credit for them.
+ *
+ *  - Transmission is serialized at the configured bandwidth (one cell
+ *    occupies the wire for 53*8/bandwidth seconds).
+ *  - Each cell consumes one credit; the receiver returns credits as it
+ *    drains its bounded FIFO, and the credit signal takes a propagation
+ *    delay to travel back.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "net/cell.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace remora::net {
+
+class Link;
+
+/** Receiving endpoint of a Link. */
+class CellSink
+{
+  public:
+    virtual ~CellSink() = default;
+
+    /**
+     * Deliver one cell. The link guarantees it held a credit, so the
+     * sink must have buffer space.
+     */
+    virtual void acceptCell(const Cell &cell) = 0;
+
+    /** Called by Link::connect so the sink can return credits. */
+    void attachUpstream(Link *link) { upstream_ = link; }
+
+  protected:
+    /** The link feeding this sink; used for credit returns. */
+    Link *upstream_ = nullptr;
+};
+
+/** Physical parameters of a link. */
+struct LinkParams
+{
+    /** Wire bandwidth in megabits per second (FORE testbed: 140). */
+    double bandwidthMbps = 140.0;
+    /** One-way propagation delay. */
+    sim::Duration propagation = sim::usec(1);
+    /**
+     * Receiver buffer credit (cells in flight + buffered). Must not
+     * exceed the receiving FIFO's capacity.
+     */
+    size_t credits = 64;
+};
+
+/** One direction of a wire between two devices. */
+class Link
+{
+  public:
+    /**
+     * @param simulator Owning simulator.
+     * @param params Physical parameters.
+     * @param name Diagnostic name, e.g. "client->server".
+     */
+    Link(sim::Simulator &simulator, const LinkParams &params,
+         std::string name);
+
+    Link(const Link &) = delete;
+    Link &operator=(const Link &) = delete;
+
+    /** Attach the receiving endpoint; must happen before any send. */
+    void connect(CellSink &sink);
+
+    /**
+     * Queue one cell for transmission. Never drops; the cell waits for
+     * wire availability and receiver credit.
+     */
+    void send(const Cell &cell);
+
+    /**
+     * Return @p n credits from the receiver side (it drained cells from
+     * its buffer). The credit takes one propagation delay to reach the
+     * sender.
+     */
+    void returnCredit(size_t n = 1);
+
+    /** Wire time for one cell at this link's bandwidth. */
+    sim::Duration cellTime() const { return cellTime_; }
+
+    /** One-way propagation delay. */
+    sim::Duration propagation() const { return params_.propagation; }
+
+    /** Cells transmitted since construction. */
+    uint64_t cellsSent() const { return cellsSent_.value(); }
+
+    /** Largest sender-side queue depth observed. */
+    size_t maxQueueDepth() const { return maxQueue_; }
+
+    /** Cells currently waiting for wire or credit. */
+    size_t queueDepth() const { return queue_.size(); }
+
+    /** Diagnostic name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    /** Transmit queued cells while wire and credit allow. */
+    void pump();
+
+    sim::Simulator &sim_;
+    LinkParams params_;
+    std::string name_;
+    CellSink *sink_ = nullptr;
+    sim::Duration cellTime_;
+    std::deque<Cell> queue_;
+    size_t credits_;
+    sim::Time wireFreeAt_ = 0;
+    bool pumpScheduled_ = false;
+    sim::Counter cellsSent_;
+    size_t maxQueue_ = 0;
+};
+
+} // namespace remora::net

@@ -1,0 +1,80 @@
+#include "net/network.h"
+
+#include "util/panic.h"
+
+namespace remora::net {
+
+Network::Network(sim::Simulator &simulator, const LinkParams &linkParams)
+    : sim_(simulator), linkParams_(linkParams)
+{}
+
+void
+Network::addHost(NodeId id, HostInterface &hif)
+{
+    REMORA_ASSERT(!wired_);
+    REMORA_ASSERT(byId_.find(id) == byId_.end());
+    hosts_.emplace_back(id, &hif);
+    byId_[id] = &hif;
+}
+
+Link &
+Network::makeLink(const std::string &name, size_t sinkCapacity)
+{
+    LinkParams p = linkParams_;
+    p.credits = std::min(p.credits, sinkCapacity);
+    links_.push_back(std::make_unique<Link>(sim_, p, name));
+    return *links_.back();
+}
+
+void
+Network::wireDirect()
+{
+    REMORA_ASSERT(!wired_);
+    if (hosts_.size() != 2) {
+        REMORA_FATAL("wireDirect requires exactly two hosts");
+    }
+    auto &[idA, hifA] = hosts_[0];
+    auto &[idB, hifB] = hosts_[1];
+    (void)idA;
+    (void)idB;
+
+    Link &aToB = makeLink(hifA->name() + "->" + hifB->name(),
+                          hifB->rxCapacity());
+    aToB.connect(*hifB);
+    hifA->attachTxLink(aToB);
+
+    Link &bToA = makeLink(hifB->name() + "->" + hifA->name(),
+                          hifA->rxCapacity());
+    bToA.connect(*hifA);
+    hifB->attachTxLink(bToA);
+
+    wired_ = true;
+}
+
+void
+Network::wireSwitched(sim::Duration fabricLatency)
+{
+    REMORA_ASSERT(!wired_);
+    if (hosts_.size() < 2) {
+        REMORA_FATAL("wireSwitched requires at least two hosts");
+    }
+    switch_ = std::make_unique<Switch>(sim_, fabricLatency, "fabric");
+
+    for (auto &[id, hif] : hosts_) {
+        // Downlink: switch -> host.
+        Link &down = makeLink("sw->" + hif->name(), hif->rxCapacity());
+        down.connect(*hif);
+        size_t port = switch_->addPort(down);
+
+        // Uplink: host -> switch. Switch inputs forward immediately, so
+        // grant them the default credit.
+        Link &up = makeLink(hif->name() + "->sw", linkParams_.credits);
+        up.connect(switch_->inputSink(port));
+        hif->attachTxLink(up);
+
+        switch_->route(id, port);
+    }
+    wired_ = true;
+}
+
+} // namespace remora::net

@@ -1,0 +1,662 @@
+#include "rmem/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logger.h"
+#include "util/panic.h"
+
+namespace remora::rmem {
+
+namespace {
+
+/** Pages a [offset, offset+count) range touches (for translate cost). */
+sim::Duration
+translateCost(const CostModel &costs, uint64_t offset, uint64_t count)
+{
+    if (count == 0) {
+        return costs.translatePageCost;
+    }
+    uint64_t first = offset / mem::kPageBytes;
+    uint64_t last = (offset + count - 1) / mem::kPageBytes;
+    return static_cast<sim::Duration>(last - first + 1) *
+           costs.translatePageCost;
+}
+
+} // namespace
+
+RmemEngine::RmemEngine(mem::Node &node, const CostModel &costs)
+    : node_(node), costs_(costs), wire_(node, costs),
+      table_(node.cpu(), costs_)
+{
+    wire_.setRmemHandler(
+        [this](net::NodeId src, Message &&msg) { onMessage(src, std::move(msg)); });
+}
+
+// ----------------------------------------------------------------------
+// Export-side kernel calls
+// ----------------------------------------------------------------------
+
+util::Result<ImportedSegment>
+RmemEngine::exportSegment(mem::Process &owner, mem::Vaddr base, uint32_t size,
+                          Rights rights, NotifyPolicy policy,
+                          const std::string &name)
+{
+    if (size == 0) {
+        return util::Status(util::ErrorCode::kInvalidArgument,
+                            "zero-size segment");
+    }
+    if (!owner.space().isMapped(base, size)) {
+        return util::Status(util::ErrorCode::kOutOfBounds,
+                            "segment range not mapped");
+    }
+    util::Status pinned = owner.space().pin(base, size);
+    if (!pinned.ok()) {
+        return pinned;
+    }
+    auto slot = table_.allocate(owner.pid(), base, size, rights, policy, name);
+    if (!slot.ok()) {
+        owner.space().unpin(base, size);
+        return slot.status();
+    }
+    // Kernel-call CPU cost: trap, table setup, page pinning.
+    node_.cpu().post(costs_.trapOverhead + costs_.validateCost +
+                         translateCost(costs_, 0, size),
+                     sim::CpuCategory::kOther);
+    const SegmentDescriptor *d = table_.get(slot.value());
+    REMORA_ASSERT(d != nullptr);
+    return ImportedSegment{node_.id(), slot.value(), d->generation, size,
+                           rights};
+}
+
+util::Status
+RmemEngine::revokeSegment(SegmentId id)
+{
+    SegmentDescriptor *d = table_.get(id);
+    if (d == nullptr) {
+        return util::Status(util::ErrorCode::kBadDescriptor,
+                            "revoke of invalid segment");
+    }
+    if (mem::Process *owner = ownerOf(*d)) {
+        owner->space().unpin(d->base, d->size);
+    }
+    node_.cpu().post(costs_.trapOverhead + costs_.validateCost,
+                     sim::CpuCategory::kOther);
+    return table_.release(id);
+}
+
+util::Status
+RmemEngine::setWriteInhibit(SegmentId id, bool inhibit)
+{
+    SegmentDescriptor *d = table_.get(id);
+    if (d == nullptr) {
+        return util::Status(util::ErrorCode::kBadDescriptor, "no segment");
+    }
+    d->writeInhibited = inhibit;
+    return {};
+}
+
+util::Status
+RmemEngine::setNotifyPolicy(SegmentId id, NotifyPolicy policy)
+{
+    SegmentDescriptor *d = table_.get(id);
+    if (d == nullptr) {
+        return util::Status(util::ErrorCode::kBadDescriptor, "no segment");
+    }
+    d->policy = policy;
+    return {};
+}
+
+NotificationChannel *
+RmemEngine::channel(SegmentId id)
+{
+    SegmentDescriptor *d = table_.get(id);
+    return d ? d->channel.get() : nullptr;
+}
+
+SegmentDescriptor *
+RmemEngine::descriptor(SegmentId id)
+{
+    return table_.get(id);
+}
+
+util::Result<ImportedSegment>
+RmemEngine::localHandle(SegmentId id) const
+{
+    const SegmentDescriptor *d = table_.get(id);
+    if (d == nullptr) {
+        return util::Status(util::ErrorCode::kBadDescriptor, "no segment");
+    }
+    return ImportedSegment{node_.id(), id, d->generation, d->size, d->rights};
+}
+
+// ----------------------------------------------------------------------
+// Meta-instructions (initiator side)
+// ----------------------------------------------------------------------
+
+sim::Task<util::Status>
+RmemEngine::write(ImportedSegment dst, uint32_t offset,
+                  std::vector<uint8_t> data, bool notify)
+{
+    stats_.writesIssued.inc();
+    if (!hasRights(dst.rights, Rights::kWrite)) {
+        co_return util::Status(util::ErrorCode::kAccessDenied,
+                               "import lacks write right");
+    }
+    if (static_cast<uint64_t>(offset) + data.size() > dst.size) {
+        co_return util::Status(util::ErrorCode::kOutOfBounds,
+                               "write outside imported segment");
+    }
+
+    // Sender-side emulation: trap + rights verification.
+    co_await node_.cpu().use(costs_.trapOverhead + costs_.validateCost,
+                             sim::CpuCategory::kOther);
+
+    size_t pos = 0;
+    do {
+        size_t chunk = std::min(data.size() - pos, kBlockDataMax);
+        WriteReq req;
+        req.descriptor = dst.descriptor;
+        req.generation = dst.generation;
+        req.offset = offset + static_cast<uint32_t>(pos);
+        req.notify = notify && (pos + chunk == data.size());
+        req.data.assign(data.begin() + static_cast<ptrdiff_t>(pos),
+                        data.begin() + static_cast<ptrdiff_t>(pos + chunk));
+        auto accepted = wire_.send(dst.node, Message(std::move(req)),
+                                   sim::CpuCategory::kDataReply);
+        pos += chunk;
+        if (pos >= data.size()) {
+            // Local completion: data accepted by the network.
+            co_await accepted;
+            break;
+        }
+    } while (true);
+    co_return util::Status();
+}
+
+sim::Task<ReadOutcome>
+RmemEngine::read(ImportedSegment src, uint32_t srcOff, SegmentId dstSeg,
+                 uint32_t dstOff, uint32_t count, bool notify,
+                 sim::Duration timeout)
+{
+    stats_.readsIssued.inc();
+    if (!hasRights(src.rights, Rights::kRead)) {
+        co_return ReadOutcome{util::Status(util::ErrorCode::kAccessDenied,
+                                           "import lacks read right"),
+                              {}};
+    }
+    if (static_cast<uint64_t>(srcOff) + count > src.size) {
+        co_return ReadOutcome{util::Status(util::ErrorCode::kOutOfBounds,
+                                           "read outside imported segment"),
+                              {}};
+    }
+    SegmentDescriptor *dst = table_.get(dstSeg);
+    if (dst == nullptr) {
+        co_return ReadOutcome{util::Status(util::ErrorCode::kBadDescriptor,
+                                           "bad local destination segment"),
+                              {}};
+    }
+    if (static_cast<uint64_t>(dstOff) + count > dst->size) {
+        co_return ReadOutcome{
+            util::Status(util::ErrorCode::kOutOfBounds,
+                         "destination outside local segment"),
+            {}};
+    }
+
+    co_await node_.cpu().use(costs_.trapOverhead + costs_.validateCost,
+                             sim::CpuCategory::kOther);
+
+    ReadOutcome total{util::Status(), {}};
+    total.data.reserve(count);
+    mem::Pid dstPid = dst->ownerPid;
+    mem::Vaddr dstBase = dst->base;
+
+    uint32_t pos = 0;
+    while (pos < count || (count == 0 && pos == 0)) {
+        uint32_t chunk = static_cast<uint32_t>(
+            std::min<uint64_t>(count - pos, kBlockDataMax));
+        ReqId id = allocReqId();
+        bool lastChunk = (pos + chunk >= count);
+
+        auto [it, inserted] = pendingReads_.try_emplace(
+            id, PendingRead{dstPid, dstBase + dstOff + pos,
+                            sim::Promise<ReadOutcome>(node_.simulator()),
+                            0, notify && lastChunk, dstSeg});
+        REMORA_ASSERT(inserted);
+        auto fut = it->second.done.future();
+        if (timeout > 0) {
+            it->second.timeoutEvent =
+                node_.simulator().schedule(timeout, [this, id] {
+                    auto pit = pendingReads_.find(id);
+                    if (pit == pendingReads_.end()) {
+                        return;
+                    }
+                    PendingRead p = std::move(pit->second);
+                    pendingReads_.erase(pit);
+                    stats_.timeouts.inc();
+                    p.done.set(ReadOutcome{
+                        util::Status(util::ErrorCode::kTimeout,
+                                     "remote read timed out"),
+                        {}});
+                });
+        }
+
+        ReadReq req;
+        req.srcDescriptor = src.descriptor;
+        req.generation = src.generation;
+        req.srcOffset = srcOff + pos;
+        req.dstDescriptor = dstSeg;
+        req.dstOffset = dstOff + pos;
+        req.count = static_cast<uint16_t>(chunk);
+        req.reqId = id;
+        req.notify = notify && lastChunk;
+        wire_.send(src.node, Message(req), sim::CpuCategory::kDataReply);
+
+        ReadOutcome part = co_await fut;
+        if (!part.status.ok()) {
+            co_return ReadOutcome{part.status, std::move(total.data)};
+        }
+        total.data.insert(total.data.end(), part.data.begin(),
+                          part.data.end());
+        pos += chunk;
+        if (count == 0) {
+            break;
+        }
+    }
+    co_return total;
+}
+
+sim::Task<CasOutcome>
+RmemEngine::cas(ImportedSegment dst, uint32_t offset, uint32_t oldValue,
+                uint32_t newValue, SegmentId resultSeg, uint32_t resultOff,
+                sim::Duration timeout)
+{
+    stats_.casIssued.inc();
+    if (!hasRights(dst.rights, Rights::kCas)) {
+        co_return CasOutcome{util::Status(util::ErrorCode::kAccessDenied,
+                                          "import lacks CAS right"),
+                             false, 0};
+    }
+    if (offset % 4 != 0 ||
+        static_cast<uint64_t>(offset) + 4 > dst.size) {
+        co_return CasOutcome{util::Status(util::ErrorCode::kOutOfBounds,
+                                          "CAS target invalid"),
+                             false, 0};
+    }
+    SegmentDescriptor *result = table_.get(resultSeg);
+    if (result == nullptr || resultOff % 4 != 0 ||
+        static_cast<uint64_t>(resultOff) + 4 > result->size) {
+        co_return CasOutcome{util::Status(util::ErrorCode::kInvalidArgument,
+                                          "CAS result location invalid"),
+                             false, 0};
+    }
+
+    co_await node_.cpu().use(costs_.trapOverhead + costs_.validateCost,
+                             sim::CpuCategory::kOther);
+
+    ReqId id = allocReqId();
+    auto [it, inserted] = pendingCas_.try_emplace(
+        id, PendingCas{result->ownerPid, result->base + resultOff,
+                       sim::Promise<CasOutcome>(node_.simulator()), 0});
+    REMORA_ASSERT(inserted);
+    auto fut = it->second.done.future();
+    if (timeout > 0) {
+        it->second.timeoutEvent =
+            node_.simulator().schedule(timeout, [this, id] {
+                auto pit = pendingCas_.find(id);
+                if (pit == pendingCas_.end()) {
+                    return;
+                }
+                PendingCas p = std::move(pit->second);
+                pendingCas_.erase(pit);
+                stats_.timeouts.inc();
+                p.done.set(CasOutcome{util::Status(util::ErrorCode::kTimeout,
+                                                   "remote CAS timed out"),
+                                      false, 0});
+            });
+    }
+
+    CasReq req;
+    req.descriptor = dst.descriptor;
+    req.generation = dst.generation;
+    req.offset = offset;
+    req.oldValue = oldValue;
+    req.newValue = newValue;
+    req.resultDescriptor = resultSeg;
+    req.resultOffset = resultOff;
+    req.reqId = id;
+    wire_.send(dst.node, Message(req), sim::CpuCategory::kDataReply);
+
+    CasOutcome out = co_await fut;
+    co_return out;
+}
+
+// ----------------------------------------------------------------------
+// Serving side
+// ----------------------------------------------------------------------
+
+void
+RmemEngine::onMessage(net::NodeId src, Message &&msg)
+{
+    struct Visitor
+    {
+        RmemEngine *eng;
+        net::NodeId src;
+        void operator()(WriteReq &m) { eng->serveWrite(src, std::move(m)); }
+        void operator()(ReadReq &m) { eng->serveRead(src, std::move(m)); }
+        void operator()(ReadResp &m) { eng->completeRead(src, std::move(m)); }
+        void operator()(CasReq &m) { eng->serveCas(src, std::move(m)); }
+        void operator()(CasResp &m) { eng->completeCas(src, std::move(m)); }
+        void operator()(Nak &m) { eng->handleNak(src, m); }
+        void operator()(RpcMsg &) {
+            REMORA_PANIC("RPC message routed to rmem engine");
+        }
+    };
+    std::visit(Visitor{this, src}, msg);
+}
+
+void
+RmemEngine::serveWrite(net::NodeId src, WriteReq &&req)
+{
+    stats_.requestsServed.inc();
+    auto &cpu = node_.cpu();
+    // Stage 1: demux + validation.
+    cpu.post(costs_.msgHandleCost + costs_.validateCost,
+             sim::CpuCategory::kDataReceive,
+             [this, src, req = std::move(req)]() mutable {
+                 auto v = table_.validate(req.descriptor, req.generation,
+                                          req.offset, req.data.size(),
+                                          Rights::kWrite);
+                 if (!v.ok()) {
+                     sendNak(src, 0, v.status().code(),
+                             req.data.size() <= kSmallWriteMax
+                                 ? MsgType::kWriteSmall
+                                 : MsgType::kWriteBlock);
+                     return;
+                 }
+                 // Stage 2: translation + copy into the owner's space.
+                 auto &cpu2 = node_.cpu();
+                 sim::Duration cost =
+                     translateCost(costs_, req.offset, req.data.size()) +
+                     costs_.copyCost(req.data.size());
+                 cpu2.post(cost, sim::CpuCategory::kDataReceive,
+                           [this, src, req = std::move(req)]() mutable {
+                               // Re-validate: the segment may have been
+                               // revoked while the copy was in flight.
+                               auto v2 = table_.validate(
+                                   req.descriptor, req.generation, req.offset,
+                                   req.data.size(), Rights::kWrite);
+                               if (!v2.ok()) {
+                                   sendNak(src, 0, v2.status().code(),
+                                           MsgType::kWriteBlock);
+                                   return;
+                               }
+                               SegmentDescriptor *d = v2.value();
+                               mem::Process *owner = ownerOf(*d);
+                               if (owner == nullptr) {
+                                   sendNak(src, 0,
+                                           util::ErrorCode::kBadDescriptor,
+                                           MsgType::kWriteBlock);
+                                   return;
+                               }
+                               util::Status ws = owner->space().write(
+                                   d->base + req.offset, req.data);
+                               REMORA_ASSERT(ws.ok());
+                               maybeNotify(
+                                   *d, req.notify,
+                                   Notification{src, NotifyKind::kWrite,
+                                                req.offset,
+                                                static_cast<uint32_t>(
+                                                    req.data.size())});
+                           });
+             });
+}
+
+void
+RmemEngine::serveRead(net::NodeId src, ReadReq &&req)
+{
+    stats_.requestsServed.inc();
+    auto &cpu = node_.cpu();
+    cpu.post(costs_.msgHandleCost + costs_.validateCost,
+             sim::CpuCategory::kDataReceive, [this, src, req]() mutable {
+                 auto v = table_.validate(req.srcDescriptor, req.generation,
+                                          req.srcOffset, req.count,
+                                          Rights::kRead);
+                 if (!v.ok()) {
+                     sendNak(src, req.reqId, v.status().code(),
+                             MsgType::kReadReq);
+                     return;
+                 }
+                 // Read-out: translation + copy, then the reply transfer.
+                 sim::Duration cost =
+                     translateCost(costs_, req.srcOffset, req.count) +
+                     costs_.copyCost(req.count);
+                 node_.cpu().post(
+                     cost, sim::CpuCategory::kDataReply,
+                     [this, src, req]() mutable {
+                         auto v2 = table_.validate(req.srcDescriptor,
+                                                   req.generation,
+                                                   req.srcOffset, req.count,
+                                                   Rights::kRead);
+                         if (!v2.ok()) {
+                             sendNak(src, req.reqId, v2.status().code(),
+                                     MsgType::kReadReq);
+                             return;
+                         }
+                         SegmentDescriptor *d = v2.value();
+                         mem::Process *owner = ownerOf(*d);
+                         if (owner == nullptr) {
+                             sendNak(src, req.reqId,
+                                     util::ErrorCode::kBadDescriptor,
+                                     MsgType::kReadReq);
+                             return;
+                         }
+                         ReadResp resp;
+                         resp.reqId = req.reqId;
+                         resp.status = util::ErrorCode::kOk;
+                         resp.data.resize(req.count);
+                         util::Status rs = owner->space().read(
+                             d->base + req.srcOffset, resp.data);
+                         REMORA_ASSERT(rs.ok());
+                         wire_.send(src, Message(std::move(resp)),
+                                    sim::CpuCategory::kDataReply);
+                         // Exporter-side notification only under the
+                         // always-notify policy; the request's notify bit
+                         // asks for *reader*-side notification (§3.1.1).
+                         if (d->policy == NotifyPolicy::kAlways) {
+                             maybeNotify(*d, false,
+                                         Notification{src, NotifyKind::kRead,
+                                                      req.srcOffset,
+                                                      req.count});
+                         }
+                     });
+             });
+}
+
+void
+RmemEngine::serveCas(net::NodeId src, CasReq &&req)
+{
+    stats_.requestsServed.inc();
+    auto &cpu = node_.cpu();
+    cpu.post(
+        costs_.msgHandleCost + costs_.validateCost + costs_.casExecCost,
+        sim::CpuCategory::kDataReceive, [this, src, req]() mutable {
+            auto v = table_.validate(req.descriptor, req.generation,
+                                     req.offset, 4, Rights::kCas);
+            if (!v.ok() || req.offset % 4 != 0) {
+                sendNak(src, req.reqId,
+                        v.ok() ? util::ErrorCode::kInvalidArgument
+                               : v.status().code(),
+                        MsgType::kCasReq);
+                return;
+            }
+            SegmentDescriptor *d = v.value();
+            mem::Process *owner = ownerOf(*d);
+            if (owner == nullptr) {
+                sendNak(src, req.reqId, util::ErrorCode::kBadDescriptor,
+                        MsgType::kCasReq);
+                return;
+            }
+            auto word = owner->space().readWord(d->base + req.offset);
+            REMORA_ASSERT(word.ok());
+            CasResp resp;
+            resp.reqId = req.reqId;
+            resp.observed = word.value();
+            resp.success = (word.value() == req.oldValue);
+            if (resp.success) {
+                util::Status ws = owner->space().writeWord(
+                    d->base + req.offset, req.newValue);
+                REMORA_ASSERT(ws.ok());
+            }
+            wire_.send(src, Message(resp), sim::CpuCategory::kDataReply);
+            maybeNotify(*d, req.notify,
+                        Notification{src, NotifyKind::kCas, req.offset, 4});
+        });
+}
+
+void
+RmemEngine::completeRead(net::NodeId src, ReadResp &&resp)
+{
+    auto it = pendingReads_.find(resp.reqId);
+    if (it == pendingReads_.end()) {
+        return; // timed out or duplicate; drop silently
+    }
+    PendingRead p = std::move(it->second);
+    pendingReads_.erase(it);
+    if (p.timeoutEvent != 0) {
+        node_.simulator().cancel(p.timeoutEvent);
+    }
+    // Deposit: demux + copy into the reader's address space.
+    sim::Duration cost =
+        costs_.msgHandleCost + costs_.copyCost(resp.data.size());
+    node_.cpu().post(
+        cost, sim::CpuCategory::kDataReceive,
+        [this, src, p = std::move(p), data = std::move(resp.data)]() mutable {
+            mem::Process *proc = node_.findProcess(p.dstPid);
+            if (proc != nullptr) {
+                util::Status ws = proc->space().write(p.dstVa, data);
+                REMORA_ASSERT(ws.ok());
+            }
+            if (p.notify) {
+                if (NotificationChannel *ch = channel(p.dstSeg)) {
+                    ch->post(Notification{src, NotifyKind::kRead, 0,
+                                          static_cast<uint32_t>(data.size())});
+                }
+            }
+            p.done.set(ReadOutcome{util::Status(), std::move(data)});
+        });
+}
+
+void
+RmemEngine::completeCas(net::NodeId src, CasResp &&resp)
+{
+    (void)src;
+    auto it = pendingCas_.find(resp.reqId);
+    if (it == pendingCas_.end()) {
+        return;
+    }
+    PendingCas p = std::move(it->second);
+    pendingCas_.erase(it);
+    if (p.timeoutEvent != 0) {
+        node_.simulator().cancel(p.timeoutEvent);
+    }
+    node_.cpu().post(
+        costs_.msgHandleCost + costs_.copyWordCost,
+        sim::CpuCategory::kDataReceive, [this, p = std::move(p), resp]() mutable {
+            mem::Process *proc = node_.findProcess(p.resultPid);
+            if (proc != nullptr) {
+                util::Status ws = proc->space().writeWord(
+                    p.resultVa, resp.success ? 1u : 0u);
+                REMORA_ASSERT(ws.ok());
+            }
+            p.done.set(
+                CasOutcome{util::Status(), resp.success, resp.observed});
+        });
+}
+
+void
+RmemEngine::handleNak(net::NodeId src, const Nak &nak)
+{
+    (void)src;
+    stats_.naksReceived.inc();
+    if (auto it = pendingReads_.find(nak.reqId); it != pendingReads_.end()) {
+        PendingRead p = std::move(it->second);
+        pendingReads_.erase(it);
+        if (p.timeoutEvent != 0) {
+            node_.simulator().cancel(p.timeoutEvent);
+        }
+        p.done.set(ReadOutcome{
+            util::Status(nak.error, "remote rejected read"), {}});
+        return;
+    }
+    if (auto it = pendingCas_.find(nak.reqId); it != pendingCas_.end()) {
+        PendingCas p = std::move(it->second);
+        pendingCas_.erase(it);
+        if (p.timeoutEvent != 0) {
+            node_.simulator().cancel(p.timeoutEvent);
+        }
+        p.done.set(CasOutcome{util::Status(nak.error, "remote rejected CAS"),
+                              false, 0});
+        return;
+    }
+    // NAK for a write or an already-resolved request: counted above.
+    REMORA_LOG(kDebug, "rmem",
+               node_.name() << ": NAK " << util::errorCodeName(nak.error));
+}
+
+void
+RmemEngine::sendNak(net::NodeId dst, ReqId reqId, util::ErrorCode error,
+                    MsgType originalType)
+{
+    stats_.naksSent.inc();
+    Nak nak;
+    nak.reqId = reqId;
+    nak.error = error;
+    nak.originalType = originalType;
+    wire_.send(dst, Message(nak), sim::CpuCategory::kDataReply);
+}
+
+void
+RmemEngine::maybeNotify(SegmentDescriptor &d, bool requestNotify,
+                        const Notification &n)
+{
+    bool fire = false;
+    switch (d.policy) {
+      case NotifyPolicy::kAlways:
+        fire = true;
+        break;
+      case NotifyPolicy::kNever:
+        fire = false;
+        break;
+      case NotifyPolicy::kConditional:
+        fire = requestNotify;
+        break;
+    }
+    if (fire && d.channel) {
+        stats_.notificationsPosted.inc();
+        d.channel->post(n);
+    }
+}
+
+ReqId
+RmemEngine::allocReqId()
+{
+    for (;;) {
+        ReqId id = nextReqId_++;
+        if (id == 0) {
+            continue; // zero is reserved for id-less NAKs
+        }
+        if (pendingReads_.find(id) == pendingReads_.end() &&
+            pendingCas_.find(id) == pendingCas_.end()) {
+            return id;
+        }
+    }
+}
+
+mem::Process *
+RmemEngine::ownerOf(const SegmentDescriptor &d)
+{
+    return node_.findProcess(d.ownerPid);
+}
+
+} // namespace remora::rmem

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * The remote-memory kernel emulation engine: the paper's core.
+ *
+ * One RmemEngine per node plays the role of the in-kernel co-processor
+ * emulation: it implements the three non-privileged meta-instructions
+ * (WRITE, READ, CAS) on the initiating side, and validates + executes
+ * incoming requests on the serving side, entirely without involving the
+ * remote *process* — only the remote kernel's data path runs, which is
+ * what "pure data transfer" means in the paper.
+ *
+ * Initiator semantics follow §3.1.1:
+ *  - write() resolves when the data has been accepted by the network
+ *    (no delivery acknowledgement; reliability is the network's job);
+ *  - read() is issued without blocking the node, and the returned task
+ *    resolves when the data has been deposited in the local destination
+ *    segment (or a NAK/timeout arrives);
+ *  - cas() resolves when the success/failure word has been deposited.
+ *
+ * Target-side semantics:
+ *  - every request is validated against the descriptor table (slot,
+ *    generation, rights, bounds, write-inhibit) — protection is
+ *    enforced, failures NAK;
+ *  - data lands in (or is read from) the owning process's address
+ *    space through its page table;
+ *  - notification fires only when the segment's policy combined with
+ *    the request's notify bit asks for control transfer.
+ */
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/node.h"
+#include "rmem/cost_model.h"
+#include "rmem/descriptor.h"
+#include "rmem/protocol.h"
+#include "rmem/segment.h"
+#include "rmem/wire.h"
+#include "sim/stats.h"
+#include "sim/task.h"
+#include "util/status.h"
+
+namespace remora::rmem {
+
+/** Result of a completed read meta-instruction. */
+struct ReadOutcome
+{
+    util::Status status;
+    /** The data, also deposited at the local destination. */
+    std::vector<uint8_t> data;
+};
+
+/** Result of a completed CAS meta-instruction. */
+struct CasOutcome
+{
+    util::Status status;
+    /** True when the swap took effect. */
+    bool success = false;
+    /** Value observed at the remote location before the swap. */
+    uint32_t observed = 0;
+};
+
+/** Engine statistics. */
+struct EngineStats
+{
+    sim::Counter writesIssued;
+    sim::Counter readsIssued;
+    sim::Counter casIssued;
+    sim::Counter requestsServed;
+    sim::Counter naksSent;
+    sim::Counter naksReceived;
+    sim::Counter notificationsPosted;
+    sim::Counter timeouts;
+};
+
+/** Per-node remote-memory kernel layer. */
+class RmemEngine
+{
+  public:
+    /**
+     * @param node The node this kernel runs on.
+     * @param costs Cost model (shared across the cluster for fairness).
+     */
+    explicit RmemEngine(mem::Node &node, const CostModel &costs = {});
+
+    RmemEngine(const RmemEngine &) = delete;
+    RmemEngine &operator=(const RmemEngine &) = delete;
+
+    // ------------------------------------------------------------------
+    // Export-side kernel calls
+    // ------------------------------------------------------------------
+
+    /**
+     * Export [base, base+size) of @p owner's space for remote access.
+     *
+     * Pins the pages (remote access bypasses the owner) and assigns a
+     * descriptor slot and a fresh generation.
+     *
+     * @return Handle describing the export, or kResource / kOutOfBounds.
+     */
+    util::Result<ImportedSegment> exportSegment(mem::Process &owner,
+                                                mem::Vaddr base,
+                                                uint32_t size, Rights rights,
+                                                NotifyPolicy policy,
+                                                const std::string &name);
+
+    /**
+     * Revoke an exported segment: unpin, invalidate the slot, bump the
+     * generation so outstanding imports go stale.
+     */
+    util::Status revokeSegment(SegmentId id);
+
+    /** Toggle the write-inhibit flag used for synchronization (§3.1.1). */
+    util::Status setWriteInhibit(SegmentId id, bool inhibit);
+
+    /** Change the notification policy of a live segment. */
+    util::Status setNotifyPolicy(SegmentId id, NotifyPolicy policy);
+
+    /** The segment's notification channel; nullptr for invalid ids. */
+    NotificationChannel *channel(SegmentId id);
+
+    /** Kernel descriptor state; nullptr for invalid ids. */
+    SegmentDescriptor *descriptor(SegmentId id);
+
+    /**
+     * An ImportedSegment handle for a locally exported segment (what
+     * the name service hands to importers on other nodes).
+     */
+    util::Result<ImportedSegment> localHandle(SegmentId id) const;
+
+    // ------------------------------------------------------------------
+    // Meta-instructions (initiator side)
+    // ------------------------------------------------------------------
+
+    /**
+     * WRITE: deposit @p data at @p offset within remote segment @p dst.
+     *
+     * Resolves with kOk once the data is accepted by the network (the
+     * paper's local-completion guarantee); protection failures at the
+     * destination arrive later as NAKs and are *not* reported here —
+     * they surface via nakCount() and, if the importer cares, through
+     * reads that observe missing data. Data larger than one frame is
+     * fragmented transparently.
+     *
+     * @param dst Imported remote segment (needs kWrite).
+     * @param offset Byte offset within the segment.
+     * @param data Bytes to write.
+     * @param notify Request control transfer at the destination.
+     */
+    sim::Task<util::Status> write(ImportedSegment dst, uint32_t offset,
+                                  std::vector<uint8_t> data,
+                                  bool notify = false);
+
+    /**
+     * READ: fetch @p count bytes at @p srcOff of remote @p src into the
+     * local segment @p dstSeg at @p dstOff.
+     *
+     * @param src Imported remote segment (needs kRead).
+     * @param srcOff Byte offset within the remote segment.
+     * @param dstSeg Locally exported destination segment.
+     * @param dstOff Offset within the local segment.
+     * @param count Bytes to fetch (chunked transparently if large).
+     * @param notify Request local notification when the data lands.
+     * @param timeout Zero = wait forever; otherwise resolve kTimeout.
+     */
+    sim::Task<ReadOutcome> read(ImportedSegment src, uint32_t srcOff,
+                                SegmentId dstSeg, uint32_t dstOff,
+                                uint32_t count, bool notify = false,
+                                sim::Duration timeout = 0);
+
+    /**
+     * CAS: atomically compare-and-swap the word at @p offset of remote
+     * @p dst; the success word is deposited at (resultSeg, resultOff).
+     *
+     * @param dst Imported remote segment (needs kCas).
+     * @param offset Word-aligned byte offset of the target word.
+     * @param oldValue Comparand.
+     * @param newValue Value stored on successful comparison.
+     * @param resultSeg Locally exported segment for the result word.
+     * @param resultOff Word-aligned offset for the result word.
+     * @param timeout Zero = wait forever.
+     */
+    sim::Task<CasOutcome> cas(ImportedSegment dst, uint32_t offset,
+                              uint32_t oldValue, uint32_t newValue,
+                              SegmentId resultSeg, uint32_t resultOff,
+                              sim::Duration timeout = 0);
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /** The wire (shared with the RPC baseline). */
+    Wire &wire() { return wire_; }
+
+    /** The owning node. */
+    mem::Node &node() { return node_; }
+
+    /** The cost model in force. */
+    const CostModel &costs() const { return costs_; }
+
+    /** Counters. */
+    const EngineStats &stats() const { return stats_; }
+
+    /** NAKs received for writes (fire-and-forget failures). */
+    uint64_t nakCount() const { return stats_.naksReceived.value(); }
+
+  private:
+    struct PendingRead
+    {
+        mem::Pid dstPid = 0;
+        mem::Vaddr dstVa = 0;
+        sim::Promise<ReadOutcome> done;
+        sim::EventId timeoutEvent = 0;
+        /** Reader-side notification requested for this chunk. */
+        bool notify = false;
+        /** Local destination segment (its channel gets the notification). */
+        SegmentId dstSeg = 0;
+    };
+    struct PendingCas
+    {
+        mem::Pid resultPid = 0;
+        mem::Vaddr resultVa = 0;
+        sim::Promise<CasOutcome> done;
+        sim::EventId timeoutEvent = 0;
+    };
+
+    /** Dispatch for incoming remote-memory messages. */
+    void onMessage(net::NodeId src, Message &&msg);
+
+    void serveWrite(net::NodeId src, WriteReq &&req);
+    void serveRead(net::NodeId src, ReadReq &&req);
+    void serveCas(net::NodeId src, CasReq &&req);
+    void completeRead(net::NodeId src, ReadResp &&resp);
+    void completeCas(net::NodeId src, CasResp &&resp);
+    void handleNak(net::NodeId src, const Nak &nak);
+
+    /** Send a NAK for a rejected request. */
+    void sendNak(net::NodeId dst, ReqId reqId, util::ErrorCode error,
+                 MsgType originalType);
+
+    /** Post a notification if policy/notify-bit ask for one. */
+    void maybeNotify(SegmentDescriptor &d, bool requestNotify,
+                     const Notification &n);
+
+    /** Allocate a request id not currently pending. */
+    ReqId allocReqId();
+
+    /** The owning process of a descriptor, or nullptr if it died. */
+    mem::Process *ownerOf(const SegmentDescriptor &d);
+
+    mem::Node &node_;
+    CostModel costs_;
+    Wire wire_;
+    DescriptorTable table_;
+    std::unordered_map<ReqId, PendingRead> pendingReads_;
+    std::unordered_map<ReqId, PendingCas> pendingCas_;
+    ReqId nextReqId_ = 1;
+    EngineStats stats_;
+};
+
+} // namespace remora::rmem

@@ -1,0 +1,131 @@
+#include "rmem/notification.h"
+
+#include <utility>
+
+#include "util/panic.h"
+
+namespace remora::rmem {
+
+NotificationChannel::NotificationChannel(sim::CpuResource &cpu,
+                                         const CostModel &costs)
+    : cpu_(cpu), costs_(costs)
+{}
+
+sim::Task<Notification>
+NotificationChannel::next()
+{
+    if (queue_.empty()) {
+        REMORA_ASSERT(!reader_); // single blocking reader
+        struct Waiter
+        {
+            NotificationChannel *ch;
+            bool await_ready() const noexcept { return false; }
+            void
+            await_suspend(std::coroutine_handle<> h) noexcept
+            {
+                ch->reader_ = h;
+            }
+            void await_resume() const noexcept {}
+        };
+        co_await Waiter{this};
+    }
+    REMORA_ASSERT(!queue_.empty());
+    Notification n = queue_.front();
+    queue_.pop_front();
+    co_return n;
+}
+
+bool
+NotificationChannel::tryNext(Notification &out)
+{
+    if (queue_.empty()) {
+        return false;
+    }
+    out = queue_.front();
+    queue_.pop_front();
+    return true;
+}
+
+void
+NotificationChannel::setSignalHandler(
+    std::function<void(const Notification &)> handler)
+{
+    signalHandler_ = std::move(handler);
+}
+
+void
+NotificationChannel::post(const Notification &n)
+{
+    ++delivered_;
+    if (signalHandler_) {
+        // Signal delivery: dispatch cost, then the handler upcall.
+        cpu_.post(costs_.notifyDispatchCost,
+                  sim::CpuCategory::kControlTransfer,
+                  [this, n] { signalHandler_(n); });
+        return;
+    }
+    queue_.push_back(n);
+    wakeConsumers();
+}
+
+void
+NotificationChannel::watchOnce(std::function<void()> watcher)
+{
+    if (readable()) {
+        // Already readable: fire on the spot (select returns immediately).
+        watcher();
+        return;
+    }
+    watchers_.push_back(std::move(watcher));
+}
+
+void
+NotificationChannel::wakeConsumers()
+{
+    // Mark-readable plus wakeup is the control-transfer cost; charge it
+    // once per delivery that actually unblocks someone.
+    bool someone = reader_ || !watchers_.empty();
+    if (!someone) {
+        return; // consumer will poll; no control transfer happens
+    }
+    cpu_.post(costs_.notifyDispatchCost, sim::CpuCategory::kControlTransfer,
+              [this] {
+                  if (reader_) {
+                      auto h = std::exchange(reader_, {});
+                      h.resume();
+                  }
+                  auto watchers = std::move(watchers_);
+                  watchers_.clear();
+                  for (auto &w : watchers) {
+                      w();
+                  }
+              });
+}
+
+sim::Task<size_t>
+ChannelSelector::selectAny(sim::Simulator &sim,
+                           const std::vector<NotificationChannel *> &channels)
+{
+    REMORA_ASSERT(!channels.empty());
+    for (size_t i = 0; i < channels.size(); ++i) {
+        if (channels[i]->readable()) {
+            co_return i;
+        }
+    }
+
+    sim::Promise<size_t> winner(sim);
+    auto fired = std::make_shared<bool>(false);
+    for (size_t i = 0; i < channels.size(); ++i) {
+        channels[i]->watchOnce([fired, winner, i]() mutable {
+            if (*fired) {
+                return;
+            }
+            *fired = true;
+            winner.set(i);
+        });
+    }
+    size_t idx = co_await winner.future();
+    co_return idx;
+}
+
+} // namespace remora::rmem

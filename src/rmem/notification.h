@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Control transfer: fd-style notification channels.
+ *
+ * The paper integrates control transfer with Ultrix file descriptors:
+ * each exported segment has an associated descriptor that becomes
+ * readable (with a small amount of control information) when an
+ * incoming operation requests notification; processes use select/read/
+ * signal to consume them (§3.1.2). NotificationChannel reproduces that
+ * interface:
+ *
+ *  - next()    — blocking read of the next notification record;
+ *  - readable() / tryNext() — non-blocking poll;
+ *  - setSignalHandler() — SIGIO-style asynchronous upcall;
+ *  - ChannelSelector — select() across several channels.
+ *
+ * Delivering a notification charges the notifyDispatchCost (scheduler
+ * wakeup + context switches + select dispatch) to the node's CPU under
+ * the control-transfer category; this is exactly the cost the paper's
+ * structure works to avoid on the common path.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/cell.h"
+#include "rmem/cost_model.h"
+#include "rmem/segment.h"
+#include "sim/cpu.h"
+#include "sim/task.h"
+
+namespace remora::rmem {
+
+/** Request kinds that can trigger a notification. */
+enum class NotifyKind : uint8_t
+{
+    kWrite = 0,
+    kRead,
+    kCas,
+};
+
+/** The "small amount of control information" a notification carries. */
+struct Notification
+{
+    /** Node whose request triggered the notification. */
+    net::NodeId srcNode = 0;
+    /** Kind of request that carried the notify bit. */
+    NotifyKind kind = NotifyKind::kWrite;
+    /** Segment offset the request targeted. */
+    uint32_t offset = 0;
+    /** Bytes the request covered. */
+    uint32_t count = 0;
+};
+
+/** Per-segment notification descriptor (the paper's segment fd). */
+class NotificationChannel
+{
+  public:
+    /**
+     * @param cpu The owning node's CPU (dispatch cost is charged here).
+     * @param costs Shared cost model.
+     */
+    NotificationChannel(sim::CpuResource &cpu, const CostModel &costs);
+
+    NotificationChannel(const NotificationChannel &) = delete;
+    NotificationChannel &operator=(const NotificationChannel &) = delete;
+
+    /** True when a notification is queued (select()-style readability). */
+    bool readable() const { return !queue_.empty(); }
+
+    /**
+     * Blocking read: suspends the calling coroutine until a
+     * notification arrives, then consumes and returns it. At most one
+     * blocking reader at a time.
+     */
+    sim::Task<Notification> next();
+
+    /**
+     * Non-blocking read: consume the head notification if present.
+     *
+     * @param out Receives the record when one was queued.
+     * @return True when a record was consumed.
+     */
+    bool tryNext(Notification &out);
+
+    /**
+     * Install a SIGIO-style handler invoked (after the dispatch cost)
+     * for each arriving notification *instead of* queueing it. Pass an
+     * empty function to remove.
+     */
+    void setSignalHandler(std::function<void(const Notification &)> handler);
+
+    /**
+     * Deliver a notification (called by the engine when an incoming
+     * request warrants control transfer). Charges the dispatch cost.
+     */
+    void post(const Notification &n);
+
+    /**
+     * Register a readability watcher (used by ChannelSelector).
+     * Invoked once, next time the channel becomes readable.
+     */
+    void watchOnce(std::function<void()> watcher);
+
+    /** Total notifications delivered through this channel. */
+    uint64_t delivered() const { return delivered_; }
+
+  private:
+    /** Wake the blocked reader / watchers after the dispatch cost. */
+    void wakeConsumers();
+
+    sim::CpuResource &cpu_;
+    const CostModel &costs_;
+    std::deque<Notification> queue_;
+    std::function<void(const Notification &)> signalHandler_;
+    std::vector<std::function<void()>> watchers_;
+    // Blocked reader rendezvous (at most one).
+    std::coroutine_handle<> reader_;
+    uint64_t delivered_ = 0;
+};
+
+/**
+ * select() over several notification channels: resolves with the index
+ * of the first channel to become readable (or one that already is).
+ */
+class ChannelSelector
+{
+  public:
+    /**
+     * Wait for any of @p channels to become readable.
+     *
+     * @param sim Simulator (for deterministic wakeup ordering).
+     * @param channels The polled set; must outlive the wait.
+     * @return Index into @p channels of a readable channel.
+     */
+    static sim::Task<size_t> selectAny(
+        sim::Simulator &sim,
+        const std::vector<NotificationChannel *> &channels);
+};
+
+} // namespace remora::rmem

@@ -1,0 +1,295 @@
+#include "rmem/protocol.h"
+
+#include "util/bytes.h"
+#include "util/panic.h"
+
+namespace remora::rmem {
+
+namespace {
+
+/** Flags packed into the high nibble of the first octet. */
+constexpr uint8_t kFlagNotify = 0x10;
+constexpr uint8_t kFlagRpcResponse = 0x20;
+
+uint8_t
+firstOctet(MsgType type, bool notify, bool rpcResponse = false)
+{
+    uint8_t v = static_cast<uint8_t>(type) & 0x0f;
+    if (notify) {
+        v |= kFlagNotify;
+    }
+    if (rpcResponse) {
+        v |= kFlagRpcResponse;
+    }
+    return v;
+}
+
+void
+putU24(util::ByteWriter &w, uint32_t v)
+{
+    REMORA_ASSERT(v < (1u << 24));
+    w.putU8(static_cast<uint8_t>(v));
+    w.putU8(static_cast<uint8_t>(v >> 8));
+    w.putU8(static_cast<uint8_t>(v >> 16));
+}
+
+uint32_t
+getU24(util::ByteReader &r)
+{
+    uint32_t v = r.getU8();
+    v |= static_cast<uint32_t>(r.getU8()) << 8;
+    v |= static_cast<uint32_t>(r.getU8()) << 16;
+    return v;
+}
+
+} // namespace
+
+MsgType
+messageType(const Message &msg)
+{
+    struct Visitor
+    {
+        MsgType operator()(const WriteReq &m) const
+        {
+            return m.data.size() <= kSmallWriteMax &&
+                           m.offset < (1u << 24)
+                       ? MsgType::kWriteSmall
+                       : MsgType::kWriteBlock;
+        }
+        MsgType operator()(const ReadReq &) const { return MsgType::kReadReq; }
+        MsgType operator()(const ReadResp &) const { return MsgType::kReadResp; }
+        MsgType operator()(const CasReq &) const { return MsgType::kCasReq; }
+        MsgType operator()(const CasResp &) const { return MsgType::kCasResp; }
+        MsgType operator()(const Nak &) const { return MsgType::kNak; }
+        MsgType operator()(const RpcMsg &) const { return MsgType::kRpc; }
+    };
+    return std::visit(Visitor{}, msg);
+}
+
+std::vector<uint8_t>
+encodeMessage(const Message &msg)
+{
+    util::ByteWriter w(64);
+    switch (messageType(msg)) {
+      case MsgType::kWriteSmall: {
+        const auto &m = std::get<WriteReq>(msg);
+        w.putU8(firstOctet(MsgType::kWriteSmall, m.notify));
+        w.putU8(m.descriptor);
+        w.putU16(m.generation);
+        putU24(w, m.offset);
+        w.putU8(static_cast<uint8_t>(m.data.size()));
+        w.putBytes(m.data);
+        break;
+      }
+      case MsgType::kWriteBlock: {
+        const auto &m = std::get<WriteReq>(msg);
+        REMORA_ASSERT(m.data.size() <= kBlockDataMax);
+        w.putU8(firstOctet(MsgType::kWriteBlock, m.notify));
+        w.putU8(m.descriptor);
+        w.putU16(m.generation);
+        w.putU32(m.offset);
+        w.putU16(static_cast<uint16_t>(m.data.size()));
+        w.putBytes(m.data);
+        break;
+      }
+      case MsgType::kReadReq: {
+        const auto &m = std::get<ReadReq>(msg);
+        w.putU8(firstOctet(MsgType::kReadReq, m.notify));
+        w.putU8(m.srcDescriptor);
+        w.putU16(m.generation);
+        w.putU32(m.srcOffset);
+        w.putU8(m.dstDescriptor);
+        w.putU32(m.dstOffset);
+        w.putU16(m.count);
+        w.putU16(m.reqId);
+        break;
+      }
+      case MsgType::kReadResp: {
+        const auto &m = std::get<ReadResp>(msg);
+        REMORA_ASSERT(m.data.size() <= kBlockDataMax);
+        w.putU8(firstOctet(MsgType::kReadResp, false));
+        w.putU16(m.reqId);
+        w.putU8(static_cast<uint8_t>(m.status));
+        w.putU16(static_cast<uint16_t>(m.data.size()));
+        w.putBytes(m.data);
+        break;
+      }
+      case MsgType::kCasReq: {
+        const auto &m = std::get<CasReq>(msg);
+        w.putU8(firstOctet(MsgType::kCasReq, m.notify));
+        w.putU8(m.descriptor);
+        w.putU16(m.generation);
+        w.putU32(m.offset);
+        w.putU32(m.oldValue);
+        w.putU32(m.newValue);
+        w.putU8(m.resultDescriptor);
+        w.putU32(m.resultOffset);
+        w.putU16(m.reqId);
+        break;
+      }
+      case MsgType::kCasResp: {
+        const auto &m = std::get<CasResp>(msg);
+        w.putU8(firstOctet(MsgType::kCasResp, false));
+        w.putU16(m.reqId);
+        w.putU8(m.success ? 1 : 0);
+        w.putU32(m.observed);
+        break;
+      }
+      case MsgType::kNak: {
+        const auto &m = std::get<Nak>(msg);
+        w.putU8(firstOctet(MsgType::kNak, false));
+        w.putU16(m.reqId);
+        w.putU8(static_cast<uint8_t>(m.error));
+        w.putU8(static_cast<uint8_t>(m.originalType));
+        break;
+      }
+      case MsgType::kRpc: {
+        const auto &m = std::get<RpcMsg>(msg);
+        w.putU8(firstOctet(MsgType::kRpc, false, m.isResponse));
+        w.putU32(m.xid);
+        w.putU32(static_cast<uint32_t>(m.body.size()));
+        w.putBytes(m.body);
+        break;
+      }
+    }
+    return w.take();
+}
+
+namespace {
+
+/** Decode one message from @p r (shared by the public wrapper). */
+util::Result<Message>
+decodeBody(util::ByteReader &r)
+{
+    uint8_t first = r.getU8();
+    auto type = static_cast<MsgType>(first & 0x0f);
+    bool notify = (first & kFlagNotify) != 0;
+
+    auto malformed = [&]() -> util::Result<Message> {
+        return util::Status(util::ErrorCode::kMalformed,
+                            "truncated message type " +
+                                std::to_string(first & 0x0f));
+    };
+
+    switch (type) {
+      case MsgType::kWriteSmall: {
+        WriteReq m;
+        m.notify = notify;
+        m.descriptor = r.getU8();
+        m.generation = r.getU16();
+        m.offset = getU24(r);
+        uint8_t count = r.getU8();
+        auto data = r.viewBytes(count);
+        if (!r.ok()) {
+            return malformed();
+        }
+        m.data.assign(data.begin(), data.end());
+        return Message(std::move(m));
+      }
+      case MsgType::kWriteBlock: {
+        WriteReq m;
+        m.notify = notify;
+        m.descriptor = r.getU8();
+        m.generation = r.getU16();
+        m.offset = r.getU32();
+        uint16_t count = r.getU16();
+        auto data = r.viewBytes(count);
+        if (!r.ok()) {
+            return malformed();
+        }
+        m.data.assign(data.begin(), data.end());
+        return Message(std::move(m));
+      }
+      case MsgType::kReadReq: {
+        ReadReq m;
+        m.notify = notify;
+        m.srcDescriptor = r.getU8();
+        m.generation = r.getU16();
+        m.srcOffset = r.getU32();
+        m.dstDescriptor = r.getU8();
+        m.dstOffset = r.getU32();
+        m.count = r.getU16();
+        m.reqId = r.getU16();
+        if (!r.ok()) {
+            return malformed();
+        }
+        return Message(m);
+      }
+      case MsgType::kReadResp: {
+        ReadResp m;
+        m.reqId = r.getU16();
+        m.status = static_cast<util::ErrorCode>(r.getU8());
+        uint16_t count = r.getU16();
+        auto data = r.viewBytes(count);
+        if (!r.ok()) {
+            return malformed();
+        }
+        m.data.assign(data.begin(), data.end());
+        return Message(std::move(m));
+      }
+      case MsgType::kCasReq: {
+        CasReq m;
+        m.notify = notify;
+        m.descriptor = r.getU8();
+        m.generation = r.getU16();
+        m.offset = r.getU32();
+        m.oldValue = r.getU32();
+        m.newValue = r.getU32();
+        m.resultDescriptor = r.getU8();
+        m.resultOffset = r.getU32();
+        m.reqId = r.getU16();
+        if (!r.ok()) {
+            return malformed();
+        }
+        return Message(m);
+      }
+      case MsgType::kCasResp: {
+        CasResp m;
+        m.reqId = r.getU16();
+        m.success = r.getU8() != 0;
+        m.observed = r.getU32();
+        if (!r.ok()) {
+            return malformed();
+        }
+        return Message(m);
+      }
+      case MsgType::kNak: {
+        Nak m;
+        m.reqId = r.getU16();
+        m.error = static_cast<util::ErrorCode>(r.getU8());
+        m.originalType = static_cast<MsgType>(r.getU8());
+        if (!r.ok()) {
+            return malformed();
+        }
+        return Message(m);
+      }
+      case MsgType::kRpc: {
+        RpcMsg m;
+        m.isResponse = (first & kFlagRpcResponse) != 0;
+        m.xid = r.getU32();
+        uint32_t count = r.getU32();
+        auto data = r.viewBytes(count);
+        if (!r.ok()) {
+            return malformed();
+        }
+        m.body.assign(data.begin(), data.end());
+        return Message(std::move(m));
+      }
+    }
+    return util::Status(util::ErrorCode::kMalformed, "unknown message type");
+}
+
+} // namespace
+
+util::Result<Message>
+decodeMessage(std::span<const uint8_t> bytes, size_t *consumed)
+{
+    util::ByteReader r(bytes);
+    util::Result<Message> result = decodeBody(r);
+    if (consumed != nullptr) {
+        *consumed = bytes.size() - r.remaining();
+    }
+    return result;
+}
+
+} // namespace remora::rmem

@@ -1,0 +1,179 @@
+#include "rmem/sync.h"
+
+#include <algorithm>
+
+#include "util/bytes.h"
+#include "util/panic.h"
+
+namespace remora::rmem {
+
+// ----------------------------------------------------------------------
+// SpinLock
+// ----------------------------------------------------------------------
+
+SpinLock::SpinLock(RmemEngine &engine, const ImportedSegment &segment,
+                   uint32_t offset, SegmentId resultSeg, uint32_t resultOff,
+                   uint32_t ownerTag, const SpinLockParams &params)
+    : engine_(engine), segment_(segment), offset_(offset),
+      resultSeg_(resultSeg), resultOff_(resultOff), ownerTag_(ownerTag),
+      params_(params)
+{
+    REMORA_ASSERT(ownerTag != 0);
+    REMORA_ASSERT(offset % 4 == 0);
+}
+
+sim::Task<util::Status>
+SpinLock::acquire()
+{
+    auto &sim = engine_.node().simulator();
+    sim::Time deadline = params_.acquireTimeout > 0
+                             ? sim.now() + params_.acquireTimeout
+                             : sim::kTimeMax;
+    sim::Duration backoff = params_.initialBackoff;
+    for (;;) {
+        CasOutcome out = co_await engine_.cas(segment_, offset_, 0,
+                                              ownerTag_, resultSeg_,
+                                              resultOff_);
+        if (!out.status.ok()) {
+            co_return out.status;
+        }
+        if (out.success) {
+            co_return util::Status();
+        }
+        ++contention_;
+        if (sim.now() >= deadline) {
+            co_return util::Status(util::ErrorCode::kTimeout,
+                                   "lock acquisition timed out");
+        }
+        co_await sim::delay(sim, backoff);
+        backoff = std::min(backoff * 2, params_.maxBackoff);
+    }
+}
+
+sim::Task<util::Status>
+SpinLock::tryAcquire()
+{
+    CasOutcome out = co_await engine_.cas(segment_, offset_, 0, ownerTag_,
+                                          resultSeg_, resultOff_);
+    if (!out.status.ok()) {
+        co_return out.status;
+    }
+    if (!out.success) {
+        ++contention_;
+        co_return util::Status(util::ErrorCode::kResource, "lock held");
+    }
+    co_return util::Status();
+}
+
+sim::Task<util::Status>
+SpinLock::release()
+{
+    // A plain remote write of zero: single-word atomicity (§3.4) makes
+    // this a safe unlock as long as the caller actually held the lock.
+    util::ByteWriter w(4);
+    w.putU32(0);
+    util::Status s = co_await engine_.write(
+        segment_, offset_,
+        std::vector<uint8_t>(w.bytes().begin(), w.bytes().end()));
+    co_return s;
+}
+
+// ----------------------------------------------------------------------
+// Heartbeat
+// ----------------------------------------------------------------------
+
+HeartbeatPublisher::HeartbeatPublisher(RmemEngine &engine,
+                                       mem::Process &owner,
+                                       const HeartbeatParams &params)
+    : engine_(engine), owner_(owner), params_(params)
+{
+    base_ = owner_.space().allocRegion(mem::kPageBytes);
+    auto h = engine_.exportSegment(owner_, base_, 64, Rights::kRead,
+                                   NotifyPolicy::kNever, "heartbeat");
+    if (!h.ok()) {
+        REMORA_FATAL("heartbeat publisher: export failed: " +
+                     h.status().toString());
+    }
+    handle_ = h.value();
+}
+
+void
+HeartbeatPublisher::start()
+{
+    REMORA_ASSERT(!running_);
+    running_ = true;
+    publishLoop().detach();
+}
+
+sim::Task<void>
+HeartbeatPublisher::publishLoop()
+{
+    auto &sim = engine_.node().simulator();
+    while (running_) {
+        ++beats_;
+        // A purely local store; remote monitors read it directly. The
+        // single-word guarantee keeps readers consistent.
+        util::Status s = owner_.space().writeWord(base_, beats_);
+        REMORA_ASSERT(s.ok());
+        co_await sim::delay(sim, params_.publishPeriod);
+    }
+}
+
+HeartbeatMonitor::HeartbeatMonitor(RmemEngine &engine, mem::Process &owner,
+                                   const ImportedSegment &peer,
+                                   FailureCallback onFailure,
+                                   const HeartbeatParams &params)
+    : engine_(engine), params_(params), peer_(peer),
+      onFailure_(std::move(onFailure))
+{
+    mem::Vaddr scratch = owner.space().allocRegion(mem::kPageBytes);
+    auto h = engine_.exportSegment(owner, scratch, 64, Rights::kRead,
+                                   NotifyPolicy::kNever, "hb.scratch");
+    if (!h.ok()) {
+        REMORA_FATAL("heartbeat monitor: scratch export failed: " +
+                     h.status().toString());
+    }
+    scratchSeg_ = h.value().descriptor;
+}
+
+void
+HeartbeatMonitor::start()
+{
+    REMORA_ASSERT(!running_);
+    running_ = true;
+    probeLoop().detach();
+}
+
+sim::Task<void>
+HeartbeatMonitor::probeLoop()
+{
+    auto &sim = engine_.node().simulator();
+    uint32_t lastSeen = 0;
+    uint32_t misses = 0;
+    while (running_ && !failed_) {
+        co_await sim::delay(sim, params_.probePeriod);
+        if (!running_) {
+            break;
+        }
+        ++probes_;
+        ReadOutcome out = co_await engine_.read(
+            peer_, 0, scratchSeg_, 0, 4, false, params_.probeTimeout);
+        bool progress = false;
+        if (out.status.ok() && out.data.size() == 4) {
+            util::ByteReader r(out.data);
+            uint32_t beat = r.getU32();
+            progress = beat > lastSeen;
+            lastSeen = std::max(lastSeen, beat);
+        }
+        if (progress) {
+            misses = 0;
+        } else if (++misses >= params_.missesAllowed) {
+            failed_ = true;
+            if (onFailure_) {
+                onFailure_(peer_.node);
+            }
+        }
+    }
+}
+
+} // namespace remora::rmem

@@ -1,0 +1,155 @@
+#include "rmem/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logger.h"
+#include "util/panic.h"
+
+namespace remora::rmem {
+
+Wire::Wire(mem::Node &node, const CostModel &costs)
+    : node_(node), costs_(costs)
+{
+    node_.nic().setRxInterrupt([this] { onRxInterrupt(); });
+}
+
+sim::Future<void>
+Wire::send(net::NodeId dst, const Message &msg, sim::CpuCategory category)
+{
+    std::vector<uint8_t> bytes = encodeMessage(msg);
+    msgsSent_.inc();
+    bytesSent_.inc(bytes.size());
+
+    std::vector<net::Cell> cells;
+    if (bytes.size() <= net::Cell::kPayloadBytes) {
+        // Single raw cell, as the FORE driver sent small requests.
+        net::Cell c;
+        c.vpi = dst;
+        c.vci = node_.id();
+        c.pti = kPtiRaw;
+        c.setLastOfFrame(true);
+        std::memcpy(c.payload.data(), bytes.data(), bytes.size());
+        cells.push_back(c);
+    } else {
+        cells = net::aal5Segment(dst, node_.id(), bytes);
+    }
+
+    // Raw single-cell messages come from registers (cheap PIO of only
+    // the words used); AAL5 frames move memory through the FIFO a word
+    // at a time (the expensive block path).
+    bool raw = (cells.size() == 1 && (cells[0].pti & kPtiRaw) != 0);
+    sim::Duration perCell = raw ? costs_.rawSendPioCost(bytes.size())
+                                : costs_.blockCellPioCost();
+    // Optional link encryption (§3.5): every outgoing word is ciphered.
+    perCell += raw ? costs_.cryptoCost(bytes.size())
+                   : costs_.cryptoCost(net::Cell::kPayloadBytes);
+    // Heterogeneity (§3.6): byte-swap folded into the PIO loop when the
+    // destination has the opposite byte order.
+    if (peerByteSwapped(dst)) {
+        size_t words =
+            (raw ? bytes.size() : net::Cell::kPayloadBytes + 3) / 4;
+        perCell += static_cast<sim::Duration>(words) *
+                   costs_.byteSwapWordCost;
+    }
+
+    sim::Promise<void> accepted(node_.simulator());
+    auto &cpu = node_.cpu();
+    cpu.post(costs_.sendFormatCost, category);
+    for (size_t i = 0; i < cells.size(); ++i) {
+        // Each cell enters the TX FIFO as its PIO completes, so the wire
+        // overlaps with the CPU filling subsequent cells.
+        bool last = (i + 1 == cells.size());
+        cpu.post(perCell, category,
+                 [this, cell = cells[i], last, accepted]() mutable {
+                     if (!node_.nic().txSpace()) {
+                         // The pass-through TX FIFO cannot back up in this
+                         // model; reaching here means the invariant broke.
+                         REMORA_PANIC("TX FIFO unexpectedly full on " +
+                                      node_.name());
+                     }
+                     node_.nic().pushTx(cell);
+                     if (last) {
+                         accepted.set();
+                     }
+                 });
+    }
+    return accepted.future();
+}
+
+void
+Wire::onRxInterrupt()
+{
+    if (draining_) {
+        return;
+    }
+    draining_ = true;
+    drainLoop().detach();
+}
+
+sim::Task<void>
+Wire::drainLoop()
+{
+    auto &cpu = node_.cpu();
+    co_await cpu.use(costs_.rxInterruptCost, sim::CpuCategory::kDataReceive);
+    while (auto cell = node_.nic().popRx()) {
+        if ((cell->pti & kPtiRaw) != 0) {
+            // Register-path drain: the emulation reads the header words,
+            // learns the message length, and moves only those words.
+            size_t consumed = 0;
+            auto decoded = decodeMessage(cell->payload, &consumed);
+            sim::Duration drainCost = costs_.rawSendPioCost(consumed) +
+                                      costs_.cryptoCost(consumed);
+            if (peerByteSwapped(cell->vci)) {
+                drainCost += static_cast<sim::Duration>((consumed + 3) / 4) *
+                             costs_.byteSwapWordCost;
+            }
+            co_await cpu.use(drainCost, sim::CpuCategory::kDataReceive);
+            if (!decoded.ok()) {
+                decodeErrors_.inc();
+                continue;
+            }
+            msgsReceived_.inc();
+            route(cell->vci, decoded.take());
+        } else {
+            // Memory-bound block path: whole cells, word at a time.
+            sim::Duration drainCost =
+                costs_.blockCellPioCost() +
+                costs_.cryptoCost(net::Cell::kPayloadBytes);
+            if (peerByteSwapped(cell->vci)) {
+                drainCost +=
+                    static_cast<sim::Duration>(net::Cell::kPayloadBytes /
+                                               4) *
+                    costs_.byteSwapWordCost;
+            }
+            co_await cpu.use(drainCost, sim::CpuCategory::kDataReceive);
+            if (auto frame = reassembler_.feed(*cell)) {
+                auto decoded = decodeMessage(frame->payload);
+                if (!decoded.ok()) {
+                    decodeErrors_.inc();
+                    continue;
+                }
+                msgsReceived_.inc();
+                route(frame->srcVci, decoded.take());
+            }
+        }
+    }
+    draining_ = false;
+    // Cells that arrived during the final check raise a fresh interrupt.
+}
+
+void
+Wire::route(net::NodeId src, Message &&msg)
+{
+    bool isRpc = messageType(msg) == MsgType::kRpc;
+    Handler &h = isRpc ? rpcHandler_ : rmemHandler_;
+    if (!h) {
+        REMORA_LOG(kWarn, "wire",
+                   node_.name() << ": no handler for message type "
+                                << static_cast<int>(messageType(msg)));
+        return;
+    }
+    h(src, std::move(msg));
+}
+
+} // namespace remora::rmem

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Per-node message transport over the cell substrate.
+ *
+ * The Wire is the part of the kernel that touches the NIC: it encodes
+ * Messages into raw cells (single-cell messages) or AAL5 frames, charges
+ * the CPU for every word of programmed I/O, drains the RX FIFO on
+ * interrupt, reassembles, decodes, and hands complete messages up. Both
+ * the remote-memory engine and the RPC baseline sit on top of the same
+ * Wire, so the two communication models being compared share an
+ * identical data path.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+
+#include "mem/node.h"
+#include "net/aal5.h"
+#include "rmem/cost_model.h"
+#include "rmem/protocol.h"
+#include "sim/stats.h"
+#include "sim/task.h"
+
+namespace remora::rmem {
+
+/** Kernel-side NIC driver: message framing, PIO costs, RX dispatch. */
+class Wire
+{
+  public:
+    /** Receives decoded messages; src is the sending node. */
+    using Handler = std::function<void(net::NodeId src, Message &&msg)>;
+
+    /**
+     * @param node The owning node (CPU charged, NIC driven).
+     * @param costs Shared cost model.
+     */
+    Wire(mem::Node &node, const CostModel &costs);
+
+    Wire(const Wire &) = delete;
+    Wire &operator=(const Wire &) = delete;
+
+    /** Install the handler for remote-memory messages (engine). */
+    void setRmemHandler(Handler handler) { rmemHandler_ = std::move(handler); }
+
+    /** Install the handler for RPC envelope messages (transport). */
+    void setRpcHandler(Handler handler) { rpcHandler_ = std::move(handler); }
+
+    /**
+     * Mark a peer as having the opposite byte order (§3.6): traffic to
+     * and from it pays the per-word swap cost during PIO. Requests from
+     * such peers carry an implicit swap indication (the paper's "bit in
+     * each incoming request").
+     */
+    void
+    setPeerByteSwapped(net::NodeId peer, bool swapped)
+    {
+        if (swapped) {
+            swappedPeers_.insert(peer);
+        } else {
+            swappedPeers_.erase(peer);
+        }
+    }
+
+    /** True when @p peer was marked opposite-byte-order. */
+    bool
+    peerByteSwapped(net::NodeId peer) const
+    {
+        return swappedPeers_.count(peer) != 0;
+    }
+
+    /**
+     * Encode and transmit @p msg to @p dst.
+     *
+     * CPU cost (header formatting plus per-cell PIO) is charged to
+     * @p category; cells enter the wire as their PIO completes, so a
+     * multi-cell frame pipelines with transmission.
+     *
+     * @return Future resolved when the last cell has been accepted by
+     *         the NIC (the paper's "accepted by the network" point).
+     */
+    sim::Future<void> send(net::NodeId dst, const Message &msg,
+                           sim::CpuCategory category);
+
+    /** Messages sent, by count. */
+    uint64_t messagesSent() const { return msgsSent_.value(); }
+
+    /** Messages received and dispatched. */
+    uint64_t messagesReceived() const { return msgsReceived_.value(); }
+
+    /** Payload bytes sent (before cell padding). */
+    uint64_t bytesSent() const { return bytesSent_.value(); }
+
+    /** Malformed messages dropped on receive. */
+    uint64_t decodeErrors() const { return decodeErrors_.value(); }
+
+    /** The owning node. */
+    mem::Node &node() { return node_; }
+
+    /** The cost model in force. */
+    const CostModel &costs() const { return costs_; }
+
+  private:
+    /** PTI bit marking a raw (non-AAL5) single-cell message. */
+    static constexpr uint8_t kPtiRaw = 0x2;
+
+    /** RX interrupt entry: start the drain task if idle. */
+    void onRxInterrupt();
+
+    /** Drain the RX FIFO, charging PIO per cell, dispatching messages. */
+    sim::Task<void> drainLoop();
+
+    /** Hand one decoded message to the registered handler. */
+    void route(net::NodeId src, Message &&msg);
+
+    mem::Node &node_;
+    CostModel costs_;
+    Handler rmemHandler_;
+    Handler rpcHandler_;
+    net::Aal5Reassembler reassembler_;
+    std::unordered_set<net::NodeId> swappedPeers_;
+    bool draining_ = false;
+    sim::Counter msgsSent_;
+    sim::Counter msgsReceived_;
+    sim::Counter bytesSent_;
+    sim::Counter decodeErrors_;
+};
+
+} // namespace remora::rmem

@@ -1,0 +1,212 @@
+#include "rpc/hybrid1.h"
+
+#include <algorithm>
+
+#include "util/bytes.h"
+#include "util/panic.h"
+
+namespace remora::rpc {
+
+namespace {
+
+/** Bytes of the request record header: seq, argLen, reply coordinates. */
+constexpr uint32_t kReqHeader = 16;
+/** Bytes of the reply record header: seq, status, length. */
+constexpr uint32_t kRespHeader = 12;
+
+} // namespace
+
+// ----------------------------------------------------------------------
+// Server
+// ----------------------------------------------------------------------
+
+Hybrid1Server::Hybrid1Server(rmem::RmemEngine &engine,
+                             mem::Process &serverProcess,
+                             const Hybrid1Params &params)
+    : engine_(engine), process_(serverProcess), params_(params)
+{
+    uint32_t segBytes = params_.slotBytes * params_.slots;
+    segBase_ = process_.space().allocRegion(segBytes);
+    auto exported = engine_.exportSegment(
+        process_, segBase_, segBytes,
+        rmem::Rights::kWrite | rmem::Rights::kRead,
+        rmem::NotifyPolicy::kConditional, "hybrid1.requests");
+    if (!exported.ok()) {
+        REMORA_FATAL("hybrid1: cannot export request segment: " +
+                     exported.status().toString());
+    }
+    handle_ = exported.value();
+    segId_ = handle_.descriptor;
+}
+
+uint32_t
+Hybrid1Server::allocSlot()
+{
+    if (nextSlot_ >= params_.slots) {
+        REMORA_FATAL("hybrid1: out of client slots");
+    }
+    return nextSlot_++;
+}
+
+void
+Hybrid1Server::start()
+{
+    REMORA_ASSERT(!started_);
+    REMORA_ASSERT(proc_ != nullptr);
+    started_ = true;
+    serveLoop().detach();
+}
+
+sim::Task<void>
+Hybrid1Server::serveLoop()
+{
+    rmem::NotificationChannel *ch = engine_.channel(segId_);
+    REMORA_ASSERT(ch != nullptr);
+    for (;;) {
+        // Control transfer: the blocked server thread is woken for each
+        // notified request (the cost HY pays and DX avoids).
+        rmem::Notification n = co_await ch->next();
+        uint32_t slot = n.offset / params_.slotBytes;
+        if (slot >= params_.slots) {
+            continue; // stray write outside any slot
+        }
+        co_await serveOne(n.srcNode, slot);
+    }
+}
+
+sim::Task<void>
+Hybrid1Server::serveOne(net::NodeId src, uint32_t slot)
+{
+    auto &cpu = engine_.node().cpu();
+    mem::Vaddr slotVa = segBase_ + slot * params_.slotBytes;
+
+    // Parse the request record out of the segment memory.
+    std::vector<uint8_t> header(kReqHeader);
+    util::Status rs = process_.space().read(slotVa, header);
+    REMORA_ASSERT(rs.ok());
+    util::ByteReader r(header);
+    uint32_t seq = r.getU32();
+    uint32_t argLen = r.getU32();
+    uint8_t replyDesc = r.getU8();
+    r.skip(1);
+    uint16_t replyGen = r.getU16();
+    uint32_t replySize = r.getU32();
+
+    if (kReqHeader + argLen > params_.slotBytes) {
+        co_return; // malformed request; nothing sane to reply to
+    }
+    std::vector<uint8_t> args(argLen);
+    rs = process_.space().read(slotVa + kReqHeader, args);
+    REMORA_ASSERT(rs.ok());
+
+    // Procedure invocation overhead (stub dispatch).
+    co_await cpu.use(engine_.costs().copyCost(kReqHeader + argLen) +
+                         sim::usec(25),
+                     sim::CpuCategory::kProcInvoke);
+
+    std::vector<uint8_t> results = co_await proc_(src, std::move(args));
+    ++served_;
+
+    // Return write(s): pure data transfer back to the client's reply
+    // segment; the client spin-waits, so no notify bit.
+    rmem::ImportedSegment reply;
+    reply.node = src;
+    reply.descriptor = replyDesc;
+    reply.generation = replyGen;
+    reply.size = replySize;
+    reply.rights = rmem::Rights::kWrite;
+
+    util::ByteWriter w(kRespHeader + results.size());
+    w.putU32(seq);
+    w.putU32(0); // status ok
+    w.putU32(static_cast<uint32_t>(results.size()));
+    w.putBytes(results);
+    util::Status ws = co_await engine_.write(reply, 0, w.take(), false);
+    REMORA_ASSERT(ws.ok());
+}
+
+// ----------------------------------------------------------------------
+// Client
+// ----------------------------------------------------------------------
+
+Hybrid1Client::Hybrid1Client(rmem::RmemEngine &engine,
+                             mem::Process &clientProcess,
+                             const rmem::ImportedSegment &server,
+                             uint32_t slot, const Hybrid1Params &params)
+    : engine_(engine), process_(clientProcess), server_(server), slot_(slot),
+      params_(params)
+{
+    uint32_t replyBytes = params_.slotBytes;
+    replyBase_ = process_.space().allocRegion(replyBytes);
+    auto exported = engine_.exportSegment(
+        process_, replyBase_, replyBytes, rmem::Rights::kWrite,
+        rmem::NotifyPolicy::kNever, "hybrid1.reply");
+    if (!exported.ok()) {
+        REMORA_FATAL("hybrid1: cannot export reply segment: " +
+                     exported.status().toString());
+    }
+    replyHandle_ = exported.value();
+    replySegId_ = replyHandle_.descriptor;
+}
+
+sim::Task<util::Result<std::vector<uint8_t>>>
+Hybrid1Client::call(std::vector<uint8_t> args, sim::Duration timeout)
+{
+    REMORA_ASSERT(kReqHeader + args.size() <= params_.slotBytes);
+    uint32_t seq = ++seq_;
+
+    util::ByteWriter w(kReqHeader + args.size());
+    w.putU32(seq);
+    w.putU32(static_cast<uint32_t>(args.size()));
+    w.putU8(replyHandle_.descriptor);
+    w.putU8(0);
+    w.putU16(replyHandle_.generation);
+    w.putU32(replyHandle_.size);
+    w.putBytes(args);
+
+    // The single write request, with notification: this is the one
+    // control transfer Hybrid-1 performs.
+    util::Status ws = co_await engine_.write(
+        server_, slot_ * params_.slotBytes, w.take(), true);
+    if (!ws.ok()) {
+        co_return ws;
+    }
+
+    // Spin-wait at user level on the reply sequence word (§4.3), with a
+    // gentle backoff so the simulation stays event-efficient.
+    auto &sim = engine_.node().simulator();
+    sim::Time deadline =
+        timeout > 0 ? sim.now() + timeout : sim::kTimeMax;
+    sim::Duration poll = params_.pollInterval;
+    for (;;) {
+        auto word = process_.space().readWord(replyBase_);
+        REMORA_ASSERT(word.ok());
+        if (word.value() == seq) {
+            break;
+        }
+        if (sim.now() >= deadline) {
+            co_return util::Status(util::ErrorCode::kTimeout,
+                                   "hybrid1 reply timed out");
+        }
+        co_await sim::delay(sim, poll);
+        poll = std::min<sim::Duration>(poll * 2, params_.pollInterval * 16);
+    }
+
+    std::vector<uint8_t> header(kRespHeader);
+    util::Status rs = process_.space().read(replyBase_, header);
+    REMORA_ASSERT(rs.ok());
+    util::ByteReader r(header);
+    r.skip(4); // seq already checked
+    uint32_t status = r.getU32();
+    uint32_t len = r.getU32();
+    if (status != 0) {
+        co_return util::Status(util::ErrorCode::kInternal,
+                               "hybrid1 remote failure");
+    }
+    std::vector<uint8_t> data(len);
+    rs = process_.space().read(replyBase_ + kRespHeader, data);
+    REMORA_ASSERT(rs.ok());
+    co_return data;
+}
+
+} // namespace remora::rpc

@@ -1,0 +1,4 @@
+#include "rpc/local_rpc.h"
+
+// LocalRpc is header-only today; this translation unit anchors the
+// library target and reserves room for richer domain modeling.

@@ -1,0 +1,36 @@
+#include "rpc/marshal.h"
+
+namespace remora::rpc {
+
+void
+Marshal::putOpaque(std::span<const uint8_t> data)
+{
+    w_.putU32(static_cast<uint32_t>(data.size()));
+    putFixed(data);
+}
+
+void
+Marshal::putFixed(std::span<const uint8_t> data)
+{
+    w_.putBytes(data);
+    size_t pad = (4 - (data.size() % 4)) % 4;
+    w_.putZeros(pad);
+}
+
+std::vector<uint8_t>
+Unmarshal::getOpaque()
+{
+    uint32_t len = getU32();
+    return getFixed(len);
+}
+
+std::vector<uint8_t>
+Unmarshal::getFixed(size_t len)
+{
+    auto view = r_.viewBytes(len);
+    std::vector<uint8_t> out(view.begin(), view.end());
+    r_.skip((4 - (len % 4)) % 4);
+    return out;
+}
+
+} // namespace remora::rpc

@@ -1,0 +1,172 @@
+#include "rpc/transport.h"
+
+#include <utility>
+
+#include "rpc/marshal.h"
+#include "sim/logger.h"
+#include "util/panic.h"
+
+namespace remora::rpc {
+
+namespace {
+
+/** Response status octet values. */
+constexpr uint8_t kStatusOk = 0;
+constexpr uint8_t kStatusBadProc = 1;
+
+} // namespace
+
+RpcTransport::RpcTransport(rmem::Wire &wire, const ThreadModelCosts &costs)
+    : wire_(wire), costs_(costs)
+{
+    wire_.setRpcHandler([this](net::NodeId src, rmem::Message &&msg) {
+        onMessage(src, std::move(msg));
+    });
+}
+
+void
+RpcTransport::registerProc(uint32_t proc, Handler handler)
+{
+    procs_[proc] = std::move(handler);
+}
+
+sim::Task<util::Result<std::vector<uint8_t>>>
+RpcTransport::call(net::NodeId dst, uint32_t proc, std::vector<uint8_t> args,
+                   sim::Duration timeout)
+{
+    stats_.callsIssued.inc();
+    auto &cpu = wire_.node().cpu();
+    auto &sim = wire_.node().simulator();
+
+    // Step 1: block the client thread and reschedule its processor.
+    co_await cpu.use(costs_.clientBlock, sim::CpuCategory::kControlTransfer);
+
+    uint32_t xid = nextXid_++;
+    auto [it, inserted] = pending_.try_emplace(
+        xid,
+        PendingCall{sim::Promise<util::Result<std::vector<uint8_t>>>(sim), 0});
+    REMORA_ASSERT(inserted);
+    auto fut = it->second.done.future();
+    if (timeout > 0) {
+        it->second.timeoutEvent = sim.schedule(timeout, [this, xid] {
+            auto pit = pending_.find(xid);
+            if (pit == pending_.end()) {
+                return;
+            }
+            PendingCall p = std::move(pit->second);
+            pending_.erase(pit);
+            stats_.timeouts.inc();
+            p.done.set(util::Status(util::ErrorCode::kTimeout,
+                                    "RPC timed out"));
+        });
+    }
+
+    // Marshal the request body: proc number + arguments.
+    Marshal m;
+    m.putU32(proc);
+    m.putOpaque(args);
+    rmem::RpcMsg msg;
+    msg.xid = xid;
+    msg.isResponse = false;
+    msg.body = m.take();
+    wire_.send(dst, rmem::Message(std::move(msg)),
+               sim::CpuCategory::kDataReply);
+
+    util::Result<std::vector<uint8_t>> result = co_await fut;
+    co_return result;
+}
+
+void
+RpcTransport::onMessage(net::NodeId src, rmem::Message &&msg)
+{
+    auto &rpc = std::get<rmem::RpcMsg>(msg);
+    if (rpc.isResponse) {
+        completeCall(rpc.xid, std::move(rpc.body));
+    } else {
+        serve(src, rpc.xid, std::move(rpc.body)).detach();
+    }
+}
+
+sim::Task<void>
+RpcTransport::serve(net::NodeId src, uint32_t xid, std::vector<uint8_t> body)
+{
+    stats_.callsServed.inc();
+    auto &cpu = wire_.node().cpu();
+
+    // Step 2: request-packet processing in the destination OS. The
+    // kernel socket path copies the payload twice (mbuf chain, then
+    // into the server's address space) — the "sometimes repeated
+    // copying of data between the client or server memory and the
+    // network" of §2.
+    co_await cpu.use(costs_.serverPacket +
+                         2 * wire_.costs().copyCost(body.size()),
+                     sim::CpuCategory::kControlTransfer);
+    // Step 3: schedule, dispatch, and execute the server thread.
+    co_await cpu.use(costs_.serverDispatch,
+                     sim::CpuCategory::kControlTransfer);
+
+    Unmarshal u(body);
+    uint32_t proc = u.getU32();
+    std::vector<uint8_t> args = u.getOpaque();
+
+    Marshal reply;
+    auto it = procs_.find(proc);
+    if (it == procs_.end() || !u.ok()) {
+        stats_.badProc.inc();
+        reply.putU32(kStatusBadProc);
+        reply.putOpaque({});
+    } else {
+        // Stub invocation overhead around the handler body.
+        co_await cpu.use(costs_.procInvoke, sim::CpuCategory::kProcInvoke);
+        std::vector<uint8_t> results =
+            co_await it->second(src, std::move(args));
+        reply.putU32(kStatusOk);
+        reply.putOpaque(results);
+    }
+
+    rmem::RpcMsg msg;
+    msg.xid = xid;
+    msg.isResponse = true;
+    msg.body = reply.take();
+
+    // Step 4: reschedule the server's processor on return, plus the
+    // socket-layer copies of the reply on the way out.
+    co_await cpu.use(costs_.serverReturn +
+                         2 * wire_.costs().copyCost(msg.body.size()),
+                     sim::CpuCategory::kControlTransfer);
+    wire_.send(src, rmem::Message(std::move(msg)),
+               sim::CpuCategory::kDataReply);
+}
+
+void
+RpcTransport::completeCall(uint32_t xid, std::vector<uint8_t> body)
+{
+    auto it = pending_.find(xid);
+    if (it == pending_.end()) {
+        return; // timed out; late reply dropped
+    }
+    PendingCall p = std::move(it->second);
+    pending_.erase(it);
+    if (p.timeoutEvent != 0) {
+        wire_.node().simulator().cancel(p.timeoutEvent);
+    }
+
+    // Steps 5 + 6: reply-packet processing, then schedule and resume
+    // the original client thread.
+    auto &cpu = wire_.node().cpu();
+    cpu.post(costs_.clientPacket + costs_.clientResume,
+             sim::CpuCategory::kControlTransfer,
+             [p = std::move(p), body = std::move(body)]() mutable {
+                 Unmarshal u(body);
+                 uint32_t status = u.getU32();
+                 std::vector<uint8_t> results = u.getOpaque();
+                 if (status != kStatusOk || !u.ok()) {
+                     p.done.set(util::Status(util::ErrorCode::kInternal,
+                                             "RPC failed remotely"));
+                 } else {
+                     p.done.set(std::move(results));
+                 }
+             });
+}
+
+} // namespace remora::rpc

@@ -1,0 +1,48 @@
+#include "sim/logger.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace remora::sim {
+
+LogLevel Logger::level_ = LogLevel::kWarn;
+std::function<Time()> Logger::timeSource_;
+
+void
+Logger::setTimeSource(std::function<Time()> src)
+{
+    timeSource_ = std::move(src);
+}
+
+namespace {
+
+const char *
+levelName(LogLevel lvl)
+{
+    switch (lvl) {
+      case LogLevel::kTrace: return "TRACE";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+Logger::write(LogLevel lvl, const char *tag, const std::string &msg)
+{
+    if (timeSource_) {
+        std::fprintf(stderr, "[%12s] %-5s %-10s %s\n",
+                     util::formatDuration(timeSource_()).c_str(),
+                     levelName(lvl), tag, msg.c_str());
+    } else {
+        std::fprintf(stderr, "%-5s %-10s %s\n", levelName(lvl), tag,
+                     msg.c_str());
+    }
+}
+
+} // namespace remora::sim

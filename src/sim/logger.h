@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Leveled, component-tagged diagnostic logging.
+ *
+ * Logging is off (kWarn) by default so benches and tests stay quiet;
+ * examples turn it up to narrate what the cluster is doing. Messages are
+ * prefixed with the simulated timestamp when a time source is installed.
+ */
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "sim/time.h"
+
+namespace remora::sim {
+
+/** Log severity, ordered from most to least verbose. */
+enum class LogLevel : uint8_t
+{
+    kTrace = 0,
+    kDebug,
+    kInfo,
+    kWarn,
+    kError,
+};
+
+/** Global logging configuration (single simulation per process). */
+class Logger
+{
+  public:
+    /** Current minimum level that is emitted. */
+    static LogLevel level() { return level_; }
+
+    /** Set the minimum emitted level. */
+    static void setLevel(LogLevel lvl) { level_ = lvl; }
+
+    /** Install a simulated-time source for timestamps (may be null). */
+    static void setTimeSource(std::function<Time()> src);
+
+    /** True when messages at @p lvl would be emitted. */
+    static bool enabled(LogLevel lvl) { return lvl >= level_; }
+
+    /** Emit one message; used by the REMORA_LOG macro. */
+    static void write(LogLevel lvl, const char *tag, const std::string &msg);
+
+  private:
+    static LogLevel level_;
+    static std::function<Time()> timeSource_;
+};
+
+} // namespace remora::sim
+
+/**
+ * Log with stream syntax: REMORA_LOG(kInfo, "rmem", "wrote " << n).
+ * The stream expression is not evaluated when the level is disabled.
+ */
+#define REMORA_LOG(lvl, tag, expr)                                             \
+    do {                                                                       \
+        if (::remora::sim::Logger::enabled(::remora::sim::LogLevel::lvl)) {    \
+            std::ostringstream remora_log_ss;                                  \
+            remora_log_ss << expr;                                             \
+            ::remora::sim::Logger::write(::remora::sim::LogLevel::lvl, (tag),  \
+                                         remora_log_ss.str());                 \
+        }                                                                      \
+    } while (0)

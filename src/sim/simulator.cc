@@ -1,0 +1,76 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "util/panic.h"
+
+namespace remora::sim {
+
+EventId
+Simulator::schedule(Duration delay, Callback fn)
+{
+    REMORA_ASSERT(delay >= 0);
+    return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId
+Simulator::scheduleAt(Time when, Callback fn)
+{
+    REMORA_ASSERT(when >= now_);
+    EventId id = nextId_++;
+    queue_.push(Entry{when, id});
+    callbacks_.emplace(id, std::move(fn));
+    return id;
+}
+
+void
+Simulator::cancel(EventId id)
+{
+    // The heap entry stays behind as a tombstone; step() skips entries
+    // whose callback has been erased.
+    callbacks_.erase(id);
+}
+
+bool
+Simulator::step()
+{
+    while (!queue_.empty()) {
+        Entry top = queue_.top();
+        queue_.pop();
+        auto it = callbacks_.find(top.id);
+        if (it == callbacks_.end()) {
+            continue; // cancelled
+        }
+        Callback fn = std::move(it->second);
+        callbacks_.erase(it);
+        REMORA_ASSERT(top.when >= now_);
+        now_ = top.when;
+        ++processed_;
+        fn();
+        return true;
+    }
+    return false;
+}
+
+uint64_t
+Simulator::run(Time limit)
+{
+    uint64_t count = 0;
+    while (!queue_.empty()) {
+        // Peek past tombstones without executing.
+        Entry top = queue_.top();
+        if (callbacks_.find(top.id) == callbacks_.end()) {
+            queue_.pop();
+            continue;
+        }
+        if (top.when > limit) {
+            break;
+        }
+        if (step()) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+} // namespace remora::sim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The discrete-event simulation engine.
+ *
+ * A Simulator owns a time-ordered event queue and the current simulated
+ * clock. Components schedule callbacks at future instants; run() pops
+ * events in (time, insertion) order until the queue drains or a limit is
+ * reached. Events scheduled for the same instant execute in insertion
+ * order, which makes causality deterministic and test output stable.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace remora::sim {
+
+/** Opaque handle identifying a scheduled event, usable for cancellation. */
+using EventId = uint64_t;
+
+/** Discrete-event scheduler and simulated clock. */
+class Simulator
+{
+  public:
+    /** Type of all event callbacks. */
+    using Callback = std::function<void()>;
+
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run @p delay after now.
+     *
+     * @param delay Non-negative delay; zero means "later this instant".
+     * @param fn Callback to invoke.
+     * @return Handle usable with cancel().
+     */
+    EventId schedule(Duration delay, Callback fn);
+
+    /**
+     * Schedule @p fn at absolute time @p when (>= now).
+     *
+     * @return Handle usable with cancel().
+     */
+    EventId scheduleAt(Time when, Callback fn);
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * Cancelling an event that already ran (or was already cancelled) is
+     * a harmless no-op, which lets timeout guards race completion safely.
+     */
+    void cancel(EventId id);
+
+    /**
+     * Run the next pending event, if any.
+     *
+     * @return True if an event ran, false if the queue was empty.
+     */
+    bool step();
+
+    /**
+     * Run events until the queue drains or simulated time would exceed
+     * @p limit.
+     *
+     * Events at exactly @p limit still run. The clock does not advance
+     * past the last executed event.
+     *
+     * @return Number of events executed by this call.
+     */
+    uint64_t run(Time limit = kTimeMax);
+
+    /** Total events executed over the simulator's lifetime. */
+    uint64_t eventsProcessed() const { return processed_; }
+
+    /** Number of events currently pending (including cancelled ones). */
+    size_t pendingEvents() const { return queue_.size(); }
+
+  private:
+    struct Entry
+    {
+        Time when;
+        EventId id;
+        // Ordered min-first by (when, id); id breaks ties by insertion.
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : id > o.id;
+        }
+    };
+
+    Time now_ = 0;
+    EventId nextId_ = 1;
+    uint64_t processed_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+    // Callbacks keyed by id; erased on execution or cancellation.
+    std::unordered_map<EventId, Callback> callbacks_;
+};
+
+} // namespace remora::sim

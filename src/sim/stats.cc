@@ -1,0 +1,139 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/panic.h"
+
+namespace remora::sim {
+
+void
+Accumulator::sample(double x)
+{
+    ++count_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+Accumulator::variance() const
+{
+    if (count_ < 2) {
+        return 0.0;
+    }
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double width, size_t buckets)
+    : lo_(lo), width_(width), counts_(buckets, 0)
+{
+    REMORA_ASSERT(width > 0.0);
+    REMORA_ASSERT(buckets > 0);
+}
+
+void
+Histogram::sample(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    double idx = (x - lo_) / width_;
+    if (idx >= static_cast<double>(counts_.size())) {
+        ++overflow_;
+        return;
+    }
+    ++counts_[static_cast<size_t>(idx)];
+}
+
+double
+Histogram::quantile(double q) const
+{
+    REMORA_ASSERT(q >= 0.0 && q <= 1.0);
+    REMORA_ASSERT(total_ > 0);
+    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total_));
+    uint64_t seen = underflow_;
+    if (seen > target) {
+        return lo_; // below measurable range
+    }
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        if (seen + counts_[i] > target) {
+            // Linear interpolation within the bucket.
+            double frac = counts_[i]
+                ? static_cast<double>(target - seen) /
+                      static_cast<double>(counts_[i])
+                : 0.0;
+            return bucketLo(i) + frac * width_;
+        }
+        seen += counts_[i];
+    }
+    return lo_ + width_ * static_cast<double>(counts_.size());
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), uint64_t{0});
+    underflow_ = overflow_ = total_ = 0;
+}
+
+namespace {
+
+std::string
+renderCounter(const void *obj)
+{
+    const auto *c = static_cast<const Counter *>(obj);
+    return std::to_string(c->value());
+}
+
+std::string
+renderAccumulator(const void *obj)
+{
+    const auto *a = static_cast<const Accumulator *>(obj);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "count=%llu mean=%.3f min=%.3f max=%.3f stddev=%.3f",
+                  static_cast<unsigned long long>(a->count()), a->mean(),
+                  a->count() ? a->min() : 0.0, a->count() ? a->max() : 0.0,
+                  a->stddev());
+    return buf;
+}
+
+} // namespace
+
+void
+StatRegistry::add(const std::string &name, const Counter &c)
+{
+    entries_[name] = EntryRef{&c, &renderCounter};
+}
+
+void
+StatRegistry::add(const std::string &name, const Accumulator &a)
+{
+    entries_[name] = EntryRef{&a, &renderAccumulator};
+}
+
+std::string
+StatRegistry::dump() const
+{
+    std::ostringstream out;
+    for (const auto &[name, entry] : entries_) {
+        out << name << ' ' << entry.render(entry.object) << '\n';
+    }
+    return out.str();
+}
+
+} // namespace remora::sim

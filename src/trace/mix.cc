@@ -1,0 +1,59 @@
+#include "trace/mix.h"
+
+namespace remora::trace {
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::kGetAttr: return "Get File Attribute";
+      case OpClass::kLookup: return "Lookup File Name";
+      case OpClass::kRead: return "Read File Data";
+      case OpClass::kNullPing: return "Null Ping Call";
+      case OpClass::kReadLink: return "Read Symbolic Link";
+      case OpClass::kReadDir: return "Read Directory Contents";
+      case OpClass::kStatFs: return "Read File System Stats.";
+      case OpClass::kWrite: return "Write File Data";
+      case OpClass::kOther: return "Other";
+      case OpClass::kNumClasses: break;
+    }
+    return "Unknown";
+}
+
+const std::array<MixRow, kNumOpClasses> &
+paperMix()
+{
+    // The exact counts of Table 1a.
+    static const std::array<MixRow, kNumOpClasses> kMix = {{
+        {OpClass::kGetAttr, 8960671},
+        {OpClass::kLookup, 8840866},
+        {OpClass::kRead, 4478036},
+        {OpClass::kNullPing, 3602730},
+        {OpClass::kReadLink, 1628256},
+        {OpClass::kReadDir, 981345},
+        {OpClass::kStatFs, 149142},
+        {OpClass::kWrite, 109712},
+        {OpClass::kOther, 109986},
+    }};
+    return kMix;
+}
+
+uint64_t
+paperMixTotal()
+{
+    uint64_t total = 0;
+    for (const MixRow &row : paperMix()) {
+        total += row.count;
+    }
+    return total;
+}
+
+double
+paperMixPercent(OpClass cls)
+{
+    return 100.0 *
+           static_cast<double>(paperMix()[static_cast<size_t>(cls)].count) /
+           static_cast<double>(paperMixTotal());
+}
+
+} // namespace remora::trace

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The departmental NFS server's operation mix (Table 1a).
+ *
+ * The paper instrumented the primary NFS file server for 80-100
+ * workstations over several days; Table 1a reports 28,860,744 RPCs. The
+ * exact published counts are reproduced here and drive the workload
+ * generator, so every traffic experiment sees the same skew the paper
+ * argues from: nearly all calls (everything but the null ping) exist
+ * only to move data or metadata.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace remora::trace {
+
+/** The operation classes of Table 1a. */
+enum class OpClass : uint8_t
+{
+    kGetAttr = 0,
+    kLookup,
+    kRead,
+    kNullPing,
+    kReadLink,
+    kReadDir,
+    kStatFs,
+    kWrite,
+    kOther,
+    kNumClasses,
+};
+
+/** Number of distinct classes. */
+inline constexpr size_t kNumOpClasses =
+    static_cast<size_t>(OpClass::kNumClasses);
+
+/** Human-readable label matching the paper's row names. */
+const char *opClassName(OpClass cls);
+
+/** One row of Table 1a. */
+struct MixRow
+{
+    OpClass cls;
+    uint64_t count;
+};
+
+/** The published Table 1a counts, in the paper's row order. */
+const std::array<MixRow, kNumOpClasses> &paperMix();
+
+/** Total calls in Table 1a (28,860,744). */
+uint64_t paperMixTotal();
+
+/** Percentage of the mix class @p cls represents. */
+double paperMixPercent(OpClass cls);
+
+} // namespace remora::trace

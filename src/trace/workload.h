@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Synthetic NFS workload generator.
+ *
+ * Draws an operation stream whose class distribution follows Table 1a
+ * and whose transfer sizes follow a configurable model of the
+ * departmental server's exported partitions (mostly read-only fonts,
+ * source trees, and /usr binaries). Two uses:
+ *
+ *  - *accounting replay* (Table 1a/1b): classify each drawn op's bytes
+ *    without simulating the cluster — millions of ops in milliseconds;
+ *  - *driving the simulated file service* (scaling experiments): each
+ *    drawn op names a file in a generated tree, ready to issue against
+ *    a ServerClerk.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfs/file_store.h"
+#include "sim/random.h"
+#include "trace/classifier.h"
+#include "trace/mix.h"
+
+namespace remora::trace {
+
+/** Transfer-size model of the workload. */
+struct SizeModel
+{
+    /**
+     * Read sizes (bytes) and their weights. Mean ~2.2 KB, calibrated so
+     * the Table 1b overall control/data ratio lands at the published
+     * 0.14 (the 1994 server's size distribution is unpublished; see
+     * EXPERIMENTS.md).
+     */
+    std::vector<std::pair<uint32_t, double>> readSizes = {
+        {512, 0.30}, {1024, 0.25}, {2048, 0.20}, {4096, 0.15}, {8192, 0.10}};
+    /** Write sizes (bytes) and their weights. */
+    std::vector<std::pair<uint32_t, double>> writeSizes = {{4096, 0.5},
+                                                           {8192, 0.5}};
+    /** Readdir reply sizes (bytes) and their weights. */
+    std::vector<std::pair<uint32_t, double>> readdirSizes = {
+        {512, 0.4}, {1024, 0.35}, {4096, 0.25}};
+    /** Average component-name length. */
+    uint32_t nameLen = 12;
+    /** Average symlink-target length. */
+    uint32_t targetLen = 24;
+};
+
+/** One drawn operation. */
+struct Op
+{
+    OpClass cls = OpClass::kNullPing;
+    /** Transfer size (read/write/readdir). */
+    uint32_t bytes = 0;
+    /** Index of the target file in the generated file set. */
+    uint32_t fileIdx = 0;
+    /** Block-aligned file offset for reads/writes. */
+    uint64_t offset = 0;
+};
+
+/** Aggregate of a replay: per-class counts and classified traffic. */
+struct TrafficSummary
+{
+    uint64_t opCount[kNumOpClasses] = {};
+    Traffic perClass[kNumOpClasses] = {};
+    uint64_t totalOps = 0;
+
+    /** Combined traffic across classes. */
+    Traffic total() const;
+};
+
+/** Table-1a-shaped operation stream. */
+class WorkloadGen
+{
+  public:
+    /**
+     * @param seed Deterministic stream seed.
+     * @param sizes Transfer-size model.
+     * @param fileCount Size of the synthetic file population (targets
+     *        are drawn Zipf-skewed, hot files first).
+     */
+    explicit WorkloadGen(uint64_t seed, const SizeModel &sizes = {},
+                         uint32_t fileCount = 64);
+
+    /** Draw the next operation. */
+    Op next();
+
+    /**
+     * Accounting replay: draw @p ops operations and classify each
+     * (no cluster simulation).
+     */
+    TrafficSummary replay(uint64_t ops);
+
+    /**
+     * Classify the *exact* Table 1a population: every published call,
+     * with sizes drawn from the size model per class (this is how the
+     * Table 1b reproduction is computed; no sampling noise on counts).
+     */
+    TrafficSummary replayPaperPopulation();
+
+    /** The size model in force. */
+    const SizeModel &sizes() const { return sizes_; }
+
+  private:
+    /** Draw a size from a weighted table. */
+    uint32_t drawSize(const std::vector<std::pair<uint32_t, double>> &table);
+
+    /** Shape for one op of @p cls. */
+    OpShape shapeFor(OpClass cls, uint32_t bytes) const;
+
+    sim::Random rng_;
+    SizeModel sizes_;
+    uint32_t fileCount_;
+    sim::Random::Discrete classDist_;
+    sim::Random::Zipf filePick_;
+};
+
+/**
+ * Build a file tree shaped like the paper's exported partitions in
+ * @p store: font files, a source tree, and binaries, plus symlinks.
+ *
+ * @return Handles of the created regular files (workload targets),
+ *         ordered hot-first to match the generator's Zipf draw.
+ */
+std::vector<dfs::FileHandle> buildPaperFileSet(dfs::FileStore &store,
+                                               uint32_t fileCount,
+                                               uint64_t seed);
+
+} // namespace remora::trace

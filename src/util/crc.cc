@@ -1,0 +1,73 @@
+#include "util/crc.h"
+
+#include <array>
+
+namespace remora::util {
+namespace {
+
+/** Build the 256-entry table for the (non-reflected) CRC-8 poly 0x07. */
+constexpr std::array<uint8_t, 256>
+makeCrc8Table()
+{
+    std::array<uint8_t, 256> table{};
+    for (int i = 0; i < 256; ++i) {
+        uint8_t crc = static_cast<uint8_t>(i);
+        for (int bit = 0; bit < 8; ++bit) {
+            crc = (crc & 0x80) ? static_cast<uint8_t>((crc << 1) ^ 0x07)
+                               : static_cast<uint8_t>(crc << 1);
+        }
+        table[static_cast<size_t>(i)] = crc;
+    }
+    return table;
+}
+
+/** Build the 256-entry table for the reflected IEEE CRC-32 poly. */
+constexpr std::array<uint32_t, 256>
+makeCrc32Table()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            crc = (crc & 1u) ? (crc >> 1) ^ 0xedb88320u : crc >> 1;
+        }
+        table[i] = crc;
+    }
+    return table;
+}
+
+constexpr auto kCrc8Table = makeCrc8Table();
+constexpr auto kCrc32Table = makeCrc32Table();
+
+} // namespace
+
+uint8_t
+crc8Hec(std::span<const uint8_t> data)
+{
+    uint8_t crc = 0;
+    for (uint8_t b : data) {
+        crc = kCrc8Table[crc ^ b];
+    }
+    // ITU-T I.432 coset addition.
+    return static_cast<uint8_t>(crc ^ 0x55);
+}
+
+uint32_t
+crc32Ieee(std::span<const uint8_t> data)
+{
+    Crc32 crc;
+    crc.update(data);
+    return crc.value();
+}
+
+void
+Crc32::update(std::span<const uint8_t> data)
+{
+    uint32_t crc = state_;
+    for (uint8_t b : data) {
+        crc = (crc >> 8) ^ kCrc32Table[(crc ^ b) & 0xffu];
+    }
+    state_ = crc;
+}
+
+} // namespace remora::util

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Stable, seedable hashing for registries and cache indexing.
+ *
+ * The name-service design (paper §4.2) requires every clerk to use the
+ * *identical* hash function so a remote importer can compute the bucket
+ * a name occupies on another machine; std::hash gives no such guarantee,
+ * so we pin FNV-1a here.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace remora::util {
+
+/** 64-bit FNV-1a over raw bytes. */
+constexpr uint64_t
+fnv1a(std::span<const uint8_t> data, uint64_t seed = 0xcbf29ce484222325ull)
+{
+    uint64_t h = seed;
+    for (uint8_t b : data) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** 64-bit FNV-1a over a string view. */
+constexpr uint64_t
+fnv1a(std::string_view s, uint64_t seed = 0xcbf29ce484222325ull)
+{
+    uint64_t h = seed;
+    for (char c : s) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/**
+ * Second-stage mix (splitmix64 finalizer) for double hashing / rehash
+ * probes in the open-addressed registries.
+ */
+constexpr uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace remora::util

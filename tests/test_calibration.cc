@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Calibration pins: the emergent Table 2 / Table 3 numbers and the
+ * Figure 2 / Figure 3 comparative shapes must stay within tolerance of
+ * the paper's measurements. If a cost-model change moves them, these
+ * tests catch it before the benches drift.
+ *
+ * Tolerances are ±10% on calibrated latencies (the benches print the
+ * exact deviations) and strict inequalities on the shapes, which are
+ * the substance of the paper's argument.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster_fixture.h"
+#include "dfs/backend.h"
+#include "dfs/server.h"
+#include "names/clerk.h"
+#include "rpc/hybrid1.h"
+
+namespace remora {
+namespace {
+
+using test::runToCompletion;
+using test::TwoNodeCluster;
+
+constexpr double kTolerance = 0.10;
+
+#define EXPECT_WITHIN(measured, paper)                                        \
+    EXPECT_NEAR((measured), (paper), (paper) * kTolerance)
+
+// ----------------------------------------------------------------------
+// Table 2
+// ----------------------------------------------------------------------
+
+struct RmemHarness
+{
+    TwoNodeCluster cluster;
+    mem::Process &server;
+    mem::Process &client;
+    rmem::ImportedSegment remote;
+    rmem::SegmentId localSeg = 0;
+
+    RmemHarness()
+        : server(cluster.nodeB.spawnProcess("server")),
+          client(cluster.nodeA.spawnProcess("client"))
+    {
+        mem::Vaddr base = server.space().allocRegion(1 << 18);
+        auto h = cluster.engineB.exportSegment(
+            server, base, 1 << 18, rmem::Rights::kAll,
+            rmem::NotifyPolicy::kConditional, "cal");
+        EXPECT_TRUE(h.ok());
+        remote = h.value();
+        mem::Vaddr lbase = client.space().allocRegion(1 << 16);
+        auto l = cluster.engineA.exportSegment(
+            client, lbase, 1 << 16, rmem::Rights::kAll,
+            rmem::NotifyPolicy::kConditional, "cal.local");
+        EXPECT_TRUE(l.ok());
+        localSeg = l.value().descriptor;
+        cluster.sim.run();
+    }
+};
+
+TEST(CalibrationTable2, SmallWriteLatency)
+{
+    RmemHarness h;
+    sim::Time t0 = h.cluster.sim.now();
+    auto t = h.cluster.engineA.write(h.remote, 0,
+                                     std::vector<uint8_t>(40, 1));
+    runToCompletion(h.cluster.sim, t);
+    h.cluster.sim.run();
+    double us = sim::toUsec(h.cluster.nodeB.cpu().busyUntil() - t0);
+    EXPECT_WITHIN(us, 30.0);
+}
+
+TEST(CalibrationTable2, SmallReadLatency)
+{
+    RmemHarness h;
+    sim::Time t0 = h.cluster.sim.now();
+    auto t = h.cluster.engineA.read(h.remote, 0, h.localSeg, 0, 40);
+    runToCompletion(h.cluster.sim, t);
+    double us = sim::toUsec(h.cluster.sim.now() - t0);
+    EXPECT_WITHIN(us, 45.0);
+}
+
+TEST(CalibrationTable2, CasLatency)
+{
+    RmemHarness h;
+    sim::Time t0 = h.cluster.sim.now();
+    auto t = h.cluster.engineA.cas(h.remote, 0, 0, 1, h.localSeg, 0);
+    runToCompletion(h.cluster.sim, t);
+    double us = sim::toUsec(h.cluster.sim.now() - t0);
+    EXPECT_WITHIN(us, 38.0);
+}
+
+TEST(CalibrationTable2, LatencyOrderingReadCasWrite)
+{
+    // The paper's explanation: reads need a cell each way; CAS is
+    // slightly faster ("fewer memory accesses"); writes are one-way.
+    RmemHarness h;
+
+    sim::Time t0 = h.cluster.sim.now();
+    auto r = h.cluster.engineA.read(h.remote, 0, h.localSeg, 0, 40);
+    runToCompletion(h.cluster.sim, r);
+    double readUs = sim::toUsec(h.cluster.sim.now() - t0);
+    h.cluster.sim.run();
+
+    t0 = h.cluster.sim.now();
+    auto c = h.cluster.engineA.cas(h.remote, 0, 0, 1, h.localSeg, 0);
+    runToCompletion(h.cluster.sim, c);
+    double casUs = sim::toUsec(h.cluster.sim.now() - t0);
+    h.cluster.sim.run();
+
+    t0 = h.cluster.sim.now();
+    auto w = h.cluster.engineA.write(h.remote, 0,
+                                     std::vector<uint8_t>(40, 1));
+    runToCompletion(h.cluster.sim, w);
+    h.cluster.sim.run();
+    double writeUs = sim::toUsec(h.cluster.nodeB.cpu().busyUntil() - t0);
+
+    EXPECT_GT(readUs, casUs);
+    EXPECT_GT(casUs, writeUs);
+}
+
+TEST(CalibrationTable2, BlockWriteThroughput)
+{
+    RmemHarness h;
+    auto streamer = [](RmemHarness *hh) -> sim::Task<void> {
+        for (int i = 0; i < 100; ++i) {
+            auto s = co_await hh->cluster.engineA.write(
+                hh->remote, static_cast<uint32_t>((i % 32) * 4096),
+                std::vector<uint8_t>(4096, 2));
+            EXPECT_TRUE(s.ok());
+        }
+    };
+    sim::Time t0 = h.cluster.sim.now();
+    auto t = streamer(&h);
+    runToCompletion(h.cluster.sim, t);
+    h.cluster.sim.run();
+    double secs = static_cast<double>(h.cluster.nodeB.cpu().busyUntil() -
+                                      t0) /
+                  1e9;
+    double mbps = 100.0 * 4096 * 8 / secs / 1e6;
+    EXPECT_WITHIN(mbps, 35.4);
+}
+
+TEST(CalibrationTable2, NotificationOverhead)
+{
+    RmemHarness h;
+    auto *ch = h.cluster.engineB.channel(h.remote.descriptor);
+    ASSERT_NE(ch, nullptr);
+
+    // Plain write baseline.
+    sim::Time t0 = h.cluster.sim.now();
+    auto w1 = h.cluster.engineA.write(h.remote, 0,
+                                      std::vector<uint8_t>(40, 1));
+    runToCompletion(h.cluster.sim, w1);
+    h.cluster.sim.run();
+    double plainUs = sim::toUsec(h.cluster.nodeB.cpu().busyUntil() - t0);
+
+    // Notified write to a blocked reader.
+    auto waiter = ch->next();
+    t0 = h.cluster.sim.now();
+    auto w2 = h.cluster.engineA.write(h.remote, 0,
+                                      std::vector<uint8_t>(40, 1), true);
+    runToCompletion(h.cluster.sim, w2);
+    while (!waiter.done() && h.cluster.sim.step()) {
+    }
+    ASSERT_TRUE(waiter.done());
+    double notifiedUs = sim::toUsec(h.cluster.sim.now() - t0);
+    EXPECT_WITHIN(notifiedUs - plainUs, 260.0);
+}
+
+// ----------------------------------------------------------------------
+// Table 3
+// ----------------------------------------------------------------------
+
+struct NamesHarness
+{
+    TwoNodeCluster cluster;
+    names::NameClerk clerkA;
+    names::NameClerk clerkB;
+    mem::Process &user;
+
+    NamesHarness()
+        : clerkA(cluster.engineA), clerkB(cluster.engineB),
+          user(cluster.nodeA.spawnProcess("user"))
+    {
+        clerkA.addPeer(2);
+        clerkB.addPeer(1);
+        cluster.sim.run();
+    }
+};
+
+TEST(CalibrationTable3, ExportImportRevokeLatencies)
+{
+    NamesHarness h;
+    auto &sim = h.cluster.sim;
+
+    mem::Vaddr base = h.user.space().allocRegion(8192);
+    sim::Time t0 = sim.now();
+    auto exp = h.clerkA.exportByName(h.user, base, 8192, rmem::Rights::kAll,
+                                     rmem::NotifyPolicy::kConditional,
+                                     "cal.seg");
+    ASSERT_TRUE(runToCompletion(sim, exp).ok());
+    EXPECT_WITHIN(sim::toUsec(sim.now() - t0), 665.0);
+
+    t0 = sim.now();
+    auto imp1 = h.clerkB.import("cal.seg", 1);
+    ASSERT_TRUE(runToCompletion(sim, imp1).ok());
+    double uncachedUs = sim::toUsec(sim.now() - t0);
+    EXPECT_WITHIN(uncachedUs, 264.0);
+
+    t0 = sim.now();
+    auto imp2 = h.clerkB.import("cal.seg", 1);
+    ASSERT_TRUE(runToCompletion(sim, imp2).ok());
+    double cachedUs = sim::toUsec(sim.now() - t0);
+    EXPECT_WITHIN(cachedUs, 196.0);
+
+    // "The difference ... is comparable to the cost of a remote read."
+    EXPECT_GT(uncachedUs - cachedUs, 40.0);
+    EXPECT_LT(uncachedUs - cachedUs, 90.0);
+
+    t0 = sim.now();
+    auto ct = h.clerkB.import("cal.seg", 1, true,
+                              names::ProbePolicy::kControlOnly);
+    ASSERT_TRUE(runToCompletion(sim, ct).ok());
+    EXPECT_WITHIN(sim::toUsec(sim.now() - t0), 524.0);
+
+    t0 = sim.now();
+    auto rev = h.clerkA.revoke("cal.seg");
+    ASSERT_TRUE(runToCompletion(sim, rev).ok());
+    EXPECT_WITHIN(sim::toUsec(sim.now() - t0), 307.0);
+}
+
+// ----------------------------------------------------------------------
+// Figures 2/3: the comparative shapes
+// ----------------------------------------------------------------------
+
+struct DfsHarness
+{
+    TwoNodeCluster cluster;
+    dfs::FileStore store;
+    dfs::FileServer server;
+    mem::Process &clerkProc;
+    rpc::Hybrid1Client hyClient;
+    dfs::HyBackend hy;
+    dfs::DxBackend dx;
+    dfs::FileHandle file;
+
+    DfsHarness()
+        : server(cluster.engineB, store),
+          clerkProc(cluster.nodeA.spawnProcess("clerk")),
+          hyClient(cluster.engineA, clerkProc, server.hybridHandle(),
+                   server.allocClientSlot()),
+          hy(hyClient),
+          dx(cluster.engineA, clerkProc, server.areaHandles(),
+             dfs::CacheGeometry{}, &hyClient)
+    {
+        auto f = store.createFile(store.root(), "f", 16384);
+        EXPECT_TRUE(f.ok());
+        file = f.value();
+        server.warmCaches();
+        server.start();
+        cluster.sim.run();
+    }
+
+    template <typename Fn>
+    double
+    latencyUs(Fn &&fn)
+    {
+        sim::Time t0 = cluster.sim.now();
+        fn();
+        double us = sim::toUsec(cluster.sim.now() - t0);
+        cluster.sim.run();
+        return us;
+    }
+};
+
+TEST(CalibrationFigure2, DxBeatsHyAndGapNarrowsWithSize)
+{
+    DfsHarness h;
+
+    auto getattrDx = h.latencyUs([&] {
+        auto t = h.dx.getattr(h.file);
+        runToCompletion(h.cluster.sim, t);
+    });
+    auto getattrHy = h.latencyUs([&] {
+        auto t = h.hy.getattr(h.file);
+        runToCompletion(h.cluster.sim, t);
+    });
+    auto read8kDx = h.latencyUs([&] {
+        auto t = h.dx.read(h.file, 0, 8192);
+        runToCompletion(h.cluster.sim, t);
+    });
+    auto read8kHy = h.latencyUs([&] {
+        auto t = h.hy.read(h.file, 0, 8192);
+        runToCompletion(h.cluster.sim, t);
+    });
+
+    EXPECT_LT(getattrDx, getattrHy);
+    EXPECT_LT(read8kDx, read8kHy);
+    // Amortization: the HY/DX ratio shrinks as the transfer grows.
+    EXPECT_GT(getattrHy / getattrDx, read8kHy / read8kDx);
+    // Metadata ops are many times faster under DX.
+    EXPECT_GT(getattrHy / getattrDx, 4.0);
+}
+
+TEST(CalibrationFigure3, DxImposesLessThanHalfServerLoad)
+{
+    DfsHarness h;
+    auto &cpu = h.cluster.nodeB.cpu();
+
+    auto loadOf = [&](auto &&fn) {
+        cpu.resetAccounting();
+        fn();
+        h.cluster.sim.run();
+        return cpu.totalBusy();
+    };
+
+    // Mimic the mix-weighted average with the dominant metadata ops.
+    sim::Duration hyLoad = loadOf([&] {
+        auto t = h.hy.getattr(h.file);
+        runToCompletion(h.cluster.sim, t);
+    });
+    sim::Duration dxLoad = loadOf([&] {
+        auto t = h.dx.getattr(h.file);
+        runToCompletion(h.cluster.sim, t);
+    });
+    EXPECT_LT(static_cast<double>(dxLoad),
+              0.5 * static_cast<double>(hyLoad));
+
+    // DX must impose zero control-transfer and procedure time.
+    cpu.resetAccounting();
+    auto t = h.dx.read(h.file, 0, 8192);
+    runToCompletion(h.cluster.sim, t);
+    h.cluster.sim.run();
+    EXPECT_EQ(cpu.busyIn(sim::CpuCategory::kControlTransfer), 0);
+    EXPECT_EQ(cpu.busyIn(sim::CpuCategory::kProcExec), 0);
+    EXPECT_EQ(cpu.busyIn(sim::CpuCategory::kProcInvoke), 0);
+}
+
+} // namespace
+} // namespace remora

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the eager-push ("Write Requests Only", §5.1) path: server
+ * pushes refreshed records into subscribed clerk caches with plain
+ * remote writes; fresh clerks serve reads from local memory.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster_fixture.h"
+#include "dfs/backend.h"
+#include "dfs/push_cache.h"
+#include "dfs/server.h"
+
+namespace remora {
+namespace {
+
+using test::runToCompletion;
+using test::TwoNodeCluster;
+
+struct PushFixture
+{
+    TwoNodeCluster cluster;
+    dfs::FileStore store;
+    dfs::FileServer server;
+    mem::Process &clerkProc;
+    dfs::ClerkPushCache pushed;
+    rpc::Hybrid1Client hyClient;
+    dfs::HyBackend hy;
+    dfs::FileHandle file;
+
+    PushFixture()
+        : server(cluster.engineB, store),
+          clerkProc(cluster.nodeA.spawnProcess("clerk")),
+          pushed(cluster.engineA, clerkProc),
+          hyClient(cluster.engineA, clerkProc, server.hybridHandle(),
+                   server.allocClientSlot()),
+          hy(hyClient)
+    {
+        auto f = store.createFile(store.root(), "pushed.bin", 16384);
+        EXPECT_TRUE(f.ok());
+        file = f.value();
+        server.subscribe(pushed.handle(), pushed.geometry());
+        server.start();
+        cluster.sim.run();
+    }
+};
+
+TEST(PushCache, ServerRefreshPropagatesAttrs)
+{
+    PushFixture f;
+    EXPECT_FALSE(f.pushed.findAttr(f.file).has_value());
+    f.server.cacheAttr(f.file);
+    f.cluster.sim.run(); // the push travels
+    auto attr = f.pushed.findAttr(f.file);
+    ASSERT_TRUE(attr.has_value());
+    EXPECT_EQ(attr->size, 16384u);
+    EXPECT_GE(f.server.pushesIssued(), 1u);
+}
+
+TEST(PushCache, ServerRefreshPropagatesBlocks)
+{
+    PushFixture f;
+    std::vector<uint8_t> out;
+    EXPECT_FALSE(f.pushed.findBlock(f.file, 0, out));
+    f.server.cacheBlock(f.file, 0);
+    f.server.cacheBlock(f.file, 1);
+    f.cluster.sim.run();
+    ASSERT_TRUE(f.pushed.findBlock(f.file, 0, out));
+    EXPECT_EQ(out, f.store.read(f.file, 0, dfs::kBlockBytes).value());
+    ASSERT_TRUE(f.pushed.findBlock(f.file, 1, out));
+    EXPECT_EQ(out,
+              f.store.read(f.file, dfs::kBlockBytes, dfs::kBlockBytes)
+                  .value());
+}
+
+TEST(PushCache, HyWriteUpdatesSubscribersAutomatically)
+{
+    PushFixture f;
+    // A write through the server refreshes its areas, which pushes.
+    std::vector<uint8_t> data(8192, 0x2f);
+    auto w = f.hy.write(f.file, 0, data);
+    ASSERT_TRUE(runToCompletion(f.cluster.sim, w).ok());
+    f.cluster.sim.run();
+
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(f.pushed.findBlock(f.file, 0, out));
+    EXPECT_EQ(out, data);
+    auto attr = f.pushed.findAttr(f.file);
+    ASSERT_TRUE(attr.has_value());
+}
+
+TEST(PushCache, LocalHitCostsNoWireTraffic)
+{
+    PushFixture f;
+    f.server.cacheBlock(f.file, 0);
+    f.cluster.sim.run();
+
+    uint64_t cellsBefore = f.cluster.nodeA.nic().cellsTx();
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(f.pushed.findBlock(f.file, 0, out));
+    f.cluster.sim.run();
+    EXPECT_EQ(f.cluster.nodeA.nic().cellsTx(), cellsBefore);
+    EXPECT_EQ(f.pushed.hits(), 1u);
+}
+
+TEST(PushCache, CollidingSlotEvicts)
+{
+    // A tiny push cache: two blocks of different files mapping to the
+    // same slot evict each other; the tag check keeps lookups honest.
+    PushFixture f;
+    dfs::PushCacheGeometry tinyGeo;
+    tinyGeo.attrBuckets = 4;
+    tinyGeo.dataSlots = 1;
+    mem::Process &proc2 = f.cluster.nodeA.spawnProcess("clerk2");
+    dfs::ClerkPushCache tiny(f.cluster.engineA, proc2, tinyGeo);
+    f.server.subscribe(tiny.handle(), tinyGeo);
+
+    auto g = f.store.createFile(f.store.root(), "other.bin", 8192);
+    ASSERT_TRUE(g.ok());
+    f.server.cacheBlock(f.file, 0);
+    f.cluster.sim.run();
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(tiny.findBlock(f.file, 0, out));
+
+    f.server.cacheBlock(g.value(), 0); // same (only) slot
+    f.cluster.sim.run();
+    EXPECT_FALSE(tiny.findBlock(f.file, 0, out));
+    EXPECT_TRUE(tiny.findBlock(g.value(), 0, out));
+}
+
+TEST(PushCache, MultipleSubscribersAllUpdated)
+{
+    PushFixture f;
+    mem::Process &proc2 = f.cluster.nodeA.spawnProcess("clerk2");
+    dfs::ClerkPushCache second(f.cluster.engineA, proc2);
+    f.server.subscribe(second.handle(), second.geometry());
+
+    f.server.cacheAttr(f.file);
+    f.cluster.sim.run();
+    EXPECT_TRUE(f.pushed.findAttr(f.file).has_value());
+    EXPECT_TRUE(second.findAttr(f.file).has_value());
+}
+
+} // namespace
+} // namespace remora

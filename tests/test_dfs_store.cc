@@ -1,0 +1,205 @@
+/**
+ * @file
+ * FileStore tests: the server's local filesystem substrate.
+ */
+#include <gtest/gtest.h>
+
+#include "dfs/file_store.h"
+
+namespace remora::dfs {
+namespace {
+
+TEST(FileStore, RootIsADirectory)
+{
+    FileStore fs;
+    auto attr = fs.getattr(fs.root());
+    ASSERT_TRUE(attr.ok());
+    EXPECT_EQ(attr.value().type, FileType::kDirectory);
+    auto entries = fs.readdir(fs.root());
+    ASSERT_TRUE(entries.ok());
+    EXPECT_EQ(entries.value().size(), 2u); // "." and ".."
+}
+
+TEST(FileStore, CreateLookupGetattr)
+{
+    FileStore fs;
+    auto fh = fs.createFile(fs.root(), "a.txt", 1000);
+    ASSERT_TRUE(fh.ok());
+    auto found = fs.lookup(fs.root(), "a.txt");
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found.value(), fh.value());
+    auto attr = fs.getattr(fh.value());
+    ASSERT_TRUE(attr.ok());
+    EXPECT_EQ(attr.value().type, FileType::kRegular);
+    EXPECT_EQ(attr.value().size, 1000u);
+    EXPECT_EQ(attr.value().bytesUsed, kBlockBytes);
+}
+
+TEST(FileStore, LookupMissesAndWrongTypes)
+{
+    FileStore fs;
+    EXPECT_EQ(fs.lookup(fs.root(), "nope").status().code(),
+              util::ErrorCode::kNotFound);
+    auto fh = fs.createFile(fs.root(), "f", 10);
+    ASSERT_TRUE(fh.ok());
+    EXPECT_FALSE(fs.lookup(fh.value(), "x").ok());   // not a dir
+    EXPECT_FALSE(fs.readdir(fh.value()).ok());       // not a dir
+    EXPECT_FALSE(fs.readlink(fh.value()).ok());      // not a link
+    EXPECT_FALSE(fs.read(fs.root(), 0, 10).ok());    // not a file
+}
+
+TEST(FileStore, ReadContentIsDeterministic)
+{
+    FileStore fs1, fs2;
+    auto f1 = fs1.createFile(fs1.root(), "same", 4096);
+    auto f2 = fs2.createFile(fs2.root(), "same", 4096);
+    ASSERT_TRUE(f1.ok() && f2.ok());
+    auto d1 = fs1.read(f1.value(), 0, 4096);
+    auto d2 = fs2.read(f2.value(), 0, 4096);
+    ASSERT_TRUE(d1.ok() && d2.ok());
+    EXPECT_EQ(d1.value(), d2.value());
+}
+
+TEST(FileStore, ShortReadAtEof)
+{
+    FileStore fs;
+    auto fh = fs.createFile(fs.root(), "short", 100);
+    ASSERT_TRUE(fh.ok());
+    auto data = fs.read(fh.value(), 80, 100);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(data.value().size(), 20u);
+    auto beyond = fs.read(fh.value(), 200, 10);
+    ASSERT_TRUE(beyond.ok());
+    EXPECT_TRUE(beyond.value().empty());
+}
+
+TEST(FileStore, WriteExtendsFile)
+{
+    FileStore fs;
+    auto fh = fs.createFile(fs.root(), "grow", 10);
+    ASSERT_TRUE(fh.ok());
+    std::vector<uint8_t> data(100, 0x5a);
+    ASSERT_TRUE(fs.write(fh.value(), 50, data).ok());
+    auto attr = fs.getattr(fh.value());
+    EXPECT_EQ(attr.value().size, 150u);
+    auto back = fs.read(fh.value(), 50, 100);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), data);
+    // The gap between old EOF and the write start is zero-filled.
+    auto gap = fs.read(fh.value(), 10, 40);
+    for (uint8_t b : gap.value()) {
+        EXPECT_EQ(b, 0);
+    }
+}
+
+TEST(FileStore, SymlinkRoundTrip)
+{
+    FileStore fs;
+    auto link = fs.symlink(fs.root(), "l", "/usr/bin/true");
+    ASSERT_TRUE(link.ok());
+    auto target = fs.readlink(link.value());
+    ASSERT_TRUE(target.ok());
+    EXPECT_EQ(target.value(), "/usr/bin/true");
+    auto attr = fs.getattr(link.value());
+    EXPECT_EQ(attr.value().type, FileType::kSymlink);
+    EXPECT_EQ(attr.value().size, 13u);
+}
+
+TEST(FileStore, MkdirAndNesting)
+{
+    FileStore fs;
+    auto d1 = fs.mkdir(fs.root(), "a");
+    ASSERT_TRUE(d1.ok());
+    auto d2 = fs.mkdir(d1.value(), "b");
+    ASSERT_TRUE(d2.ok());
+    auto f = fs.createFile(d2.value(), "deep.txt", 1);
+    ASSERT_TRUE(f.ok());
+    auto found = fs.lookup(d1.value(), "b");
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found.value(), d2.value());
+    auto entries = fs.readdir(d2.value());
+    ASSERT_TRUE(entries.ok());
+    EXPECT_EQ(entries.value().size(), 3u); // ., .., deep.txt
+}
+
+TEST(FileStore, DuplicateNamesRejected)
+{
+    FileStore fs;
+    ASSERT_TRUE(fs.createFile(fs.root(), "x", 1).ok());
+    EXPECT_EQ(fs.createFile(fs.root(), "x", 1).status().code(),
+              util::ErrorCode::kAlreadyExists);
+    EXPECT_EQ(fs.mkdir(fs.root(), "x").status().code(),
+              util::ErrorCode::kAlreadyExists);
+}
+
+TEST(FileStore, RemoveInvalidatesHandles)
+{
+    FileStore fs;
+    auto fh = fs.createFile(fs.root(), "doomed", 64);
+    ASSERT_TRUE(fh.ok());
+    size_t live = fs.inodeCount();
+    ASSERT_TRUE(fs.remove(fs.root(), "doomed").ok());
+    EXPECT_EQ(fs.inodeCount(), live - 1);
+    // The stale handle now fails every operation.
+    EXPECT_FALSE(fs.getattr(fh.value()).ok());
+    EXPECT_FALSE(fs.read(fh.value(), 0, 8).ok());
+    EXPECT_EQ(fs.lookup(fs.root(), "doomed").status().code(),
+              util::ErrorCode::kNotFound);
+}
+
+TEST(FileStore, HandleKeyRoundTrip)
+{
+    FileHandle fh{0x12345678, 0x9abcdef0};
+    EXPECT_EQ(FileHandle::fromKey(fh.key()), fh);
+}
+
+TEST(FileStore, StatfsTracksUsage)
+{
+    FileStore fs;
+    FsStat before = fs.statfs();
+    ASSERT_TRUE(fs.createFile(fs.root(), "big", 1 << 20).ok());
+    FsStat after = fs.statfs();
+    EXPECT_EQ(before.freeBytes - after.freeBytes, 1u << 20);
+    EXPECT_EQ(after.totalFiles, before.totalFiles + 1);
+}
+
+TEST(FileStore, AllHandlesEnumeratesLiveInodes)
+{
+    FileStore fs;
+    ASSERT_TRUE(fs.createFile(fs.root(), "a", 1).ok());
+    ASSERT_TRUE(fs.createFile(fs.root(), "b", 1).ok());
+    ASSERT_TRUE(fs.remove(fs.root(), "a").ok());
+    auto handles = fs.allHandles();
+    EXPECT_EQ(handles.size(), fs.inodeCount());
+    for (FileHandle fh : handles) {
+        EXPECT_TRUE(fs.getattr(fh).ok());
+    }
+}
+
+class FileSizeSweep : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(FileSizeSweep, FullContentReadBack)
+{
+    uint64_t size = GetParam();
+    FileStore fs;
+    auto fh = fs.createFile(fs.root(), "f", size);
+    ASSERT_TRUE(fh.ok());
+    // Read in 8K chunks and count bytes.
+    uint64_t total = 0;
+    for (uint64_t off = 0;; off += kBlockBytes) {
+        auto chunk = fs.read(fh.value(), off, kBlockBytes);
+        ASSERT_TRUE(chunk.ok());
+        total += chunk.value().size();
+        if (chunk.value().size() < kBlockBytes) {
+            break;
+        }
+    }
+    EXPECT_EQ(total, size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FileSizeSweep,
+                         ::testing::Values(0, 1, 8191, 8192, 8193, 100000));
+
+} // namespace
+} // namespace remora::dfs

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Token-coherence tests (§5.1's Calypso discussion): CAS acquire and
+ * release, local token caching, control-transfer revocation, delayed
+ * revocation during use, and slot sharing.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster_fixture.h"
+#include "dfs/token.h"
+
+namespace remora {
+namespace {
+
+using test::runToCompletion;
+using test::SwitchedCluster;
+
+struct TokenFixture
+{
+    SwitchedCluster cluster{3};
+    mem::Process &serverProc;
+    dfs::TokenArea area;
+    mem::Process &proc1;
+    mem::Process &proc2;
+    dfs::TokenClient client1;
+    dfs::TokenClient client2;
+
+    TokenFixture()
+        : serverProc(cluster.nodes[0]->spawnProcess("server")),
+          area(*cluster.engines[0], serverProc),
+          proc1(cluster.nodes[1]->spawnProcess("clerk1")),
+          proc2(cluster.nodes[2]->spawnProcess("clerk2")),
+          client1(*cluster.engines[1], proc1, area.handle()),
+          client2(*cluster.engines[2], proc2, area.handle())
+    {
+        cluster.sim.run(); // directory registrations land
+    }
+};
+
+TEST(Token, AcquireReleaseRoundTrip)
+{
+    TokenFixture f;
+    auto a = f.client1.acquire(42);
+    ASSERT_TRUE(runToCompletion(f.cluster.sim, a).ok());
+    EXPECT_TRUE(f.client1.holds(42));
+    f.cluster.sim.run();
+    EXPECT_EQ(f.area.holderOf(42), 3u); // client1 is node id 2, tag id+1
+
+    auto r = f.client1.release(42);
+    ASSERT_TRUE(runToCompletion(f.cluster.sim, r).ok());
+    EXPECT_FALSE(f.client1.holds(42));
+    f.cluster.sim.run();
+    EXPECT_EQ(f.area.holderOf(42), 0u);
+}
+
+TEST(Token, CachedTokenCostsNoWireTraffic)
+{
+    TokenFixture f;
+    auto a1 = f.client1.acquire(7);
+    ASSERT_TRUE(runToCompletion(f.cluster.sim, a1).ok());
+    f.cluster.sim.run();
+    uint64_t cells = f.cluster.nodes[1]->nic().cellsTx();
+    for (int i = 0; i < 5; ++i) {
+        auto a = f.client1.acquire(7);
+        ASSERT_TRUE(runToCompletion(f.cluster.sim, a).ok());
+    }
+    EXPECT_EQ(f.cluster.nodes[1]->nic().cellsTx(), cells);
+    EXPECT_EQ(f.client1.localHits(), 5u);
+}
+
+TEST(Token, ContentionRevokesIdleHolder)
+{
+    TokenFixture f;
+    auto a1 = f.client1.acquire(99);
+    ASSERT_TRUE(runToCompletion(f.cluster.sim, a1).ok());
+
+    // Client 2 wants the same token; client 1 is idle, so the
+    // revocation succeeds and client 2 wins on retry.
+    auto a2 = f.client2.acquire(99);
+    ASSERT_TRUE(runToCompletion(f.cluster.sim, a2).ok());
+    EXPECT_TRUE(f.client2.holds(99));
+    f.cluster.sim.run(); // the holder's release CAS response lands
+    EXPECT_FALSE(f.client1.holds(99));
+    EXPECT_GE(f.client2.revocationsSent(), 1u);
+    EXPECT_GE(f.client1.revocationsHonoured(), 1u);
+}
+
+TEST(Token, RevocationDeferredWhileBusy)
+{
+    TokenFixture f;
+    auto a1 = f.client1.acquire(5);
+    ASSERT_TRUE(runToCompletion(f.cluster.sim, a1).ok());
+    f.client1.beginUse(5); // writer mid-operation
+
+    // The contender's acquire stalls while the holder is busy.
+    auto a2 = f.client2.acquire(5);
+    f.cluster.sim.run(f.cluster.sim.now() + sim::msec(3));
+    EXPECT_FALSE(a2.done());
+    EXPECT_TRUE(f.client1.holds(5));
+
+    // Finishing the critical section honours the deferred revocation.
+    f.client1.endUse(5);
+    auto s = runToCompletion(f.cluster.sim, a2);
+    ASSERT_TRUE(s.ok()) << s.toString();
+    EXPECT_TRUE(f.client2.holds(5));
+    f.cluster.sim.run();
+    EXPECT_FALSE(f.client1.holds(5));
+}
+
+TEST(Token, AcquireTimesOutAgainstStuckHolder)
+{
+    TokenFixture f;
+    dfs::TokenParams fast;
+    fast.acquireTimeout = sim::msec(3);
+    dfs::TokenClient impatient(*f.cluster.engines[2], f.proc2,
+                               f.area.handle(), fast);
+    f.cluster.sim.run();
+
+    auto a1 = f.client1.acquire(11);
+    ASSERT_TRUE(runToCompletion(f.cluster.sim, a1).ok());
+    f.client1.beginUse(11); // never ends
+
+    auto a2 = impatient.acquire(11);
+    EXPECT_EQ(runToCompletion(f.cluster.sim, a2).code(),
+              util::ErrorCode::kTimeout);
+}
+
+TEST(Token, ReleaseWithoutHoldRejected)
+{
+    TokenFixture f;
+    auto r = f.client1.release(123);
+    EXPECT_EQ(runToCompletion(f.cluster.sim, r).code(),
+              util::ErrorCode::kInvalidArgument);
+}
+
+TEST(Token, DistinctKeysDistinctSlotsCoexist)
+{
+    TokenFixture f;
+    // Find two keys in different slots.
+    uint64_t k1 = 1, k2 = 2;
+    dfs::TokenParams p;
+    while (dfs::tokenSlotOf(k2, p.tokenSlots) ==
+           dfs::tokenSlotOf(k1, p.tokenSlots)) {
+        ++k2;
+    }
+    auto a1 = f.client1.acquire(k1);
+    ASSERT_TRUE(runToCompletion(f.cluster.sim, a1).ok());
+    auto a2 = f.client2.acquire(k2);
+    ASSERT_TRUE(runToCompletion(f.cluster.sim, a2).ok());
+    EXPECT_TRUE(f.client1.holds(k1));
+    EXPECT_TRUE(f.client2.holds(k2));
+}
+
+TEST(Token, SlotSharingKeysSerialize)
+{
+    TokenFixture f;
+    // Two keys that collide in the direct-mapped table share a token:
+    // coarser granularity, still correct.
+    dfs::TokenParams p;
+    uint64_t k1 = 1000, k2 = k1 + 1;
+    while (dfs::tokenSlotOf(k2, p.tokenSlots) !=
+           dfs::tokenSlotOf(k1, p.tokenSlots)) {
+        ++k2;
+    }
+    auto a1 = f.client1.acquire(k1);
+    ASSERT_TRUE(runToCompletion(f.cluster.sim, a1).ok());
+    // Client 2 contends for the colliding key; revocation strips
+    // client 1 of k1's slot and client 2 proceeds.
+    auto a2 = f.client2.acquire(k2);
+    ASSERT_TRUE(runToCompletion(f.cluster.sim, a2).ok());
+    f.cluster.sim.run();
+    EXPECT_FALSE(f.client1.holds(k1));
+    EXPECT_TRUE(f.client2.holds(k2));
+}
+
+} // namespace
+} // namespace remora

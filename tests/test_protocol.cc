@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Wire-protocol tests: codec round trips across field sweeps, the
+ * single-cell size budgets the design depends on, small/block selection
+ * boundaries, and malformed-input rejection.
+ */
+#include <gtest/gtest.h>
+
+#include "net/cell.h"
+#include "rmem/protocol.h"
+
+namespace remora::rmem {
+namespace {
+
+template <typename T>
+T
+roundTrip(const Message &msg, size_t *consumed = nullptr)
+{
+    auto bytes = encodeMessage(msg);
+    auto decoded = decodeMessage(bytes, consumed);
+    EXPECT_TRUE(decoded.ok()) << decoded.status().toString();
+    return std::get<T>(decoded.take());
+}
+
+// ----------------------------------------------------------------------
+// Round trips
+// ----------------------------------------------------------------------
+
+TEST(Protocol, SmallWriteRoundTrip)
+{
+    WriteReq req;
+    req.descriptor = 12;
+    req.generation = 999;
+    req.offset = 0x00abcdef; // within the 24-bit small-write range
+    req.notify = true;
+    req.data = {1, 2, 3, 4, 5};
+    WriteReq out = roundTrip<WriteReq>(Message(req));
+    EXPECT_EQ(out.descriptor, req.descriptor);
+    EXPECT_EQ(out.generation, req.generation);
+    EXPECT_EQ(out.offset, req.offset);
+    EXPECT_EQ(out.notify, req.notify);
+    EXPECT_EQ(out.data, req.data);
+}
+
+TEST(Protocol, BlockWriteRoundTrip)
+{
+    WriteReq req;
+    req.descriptor = 200;
+    req.generation = 0xffff;
+    req.offset = 0x01000000; // past the small-write offset range
+    req.data.assign(4096, 0x5c);
+    EXPECT_EQ(messageType(Message(req)), MsgType::kWriteBlock);
+    WriteReq out = roundTrip<WriteReq>(Message(req));
+    EXPECT_EQ(out.offset, req.offset);
+    EXPECT_EQ(out.data, req.data);
+}
+
+TEST(Protocol, ReadReqRoundTrip)
+{
+    ReadReq req;
+    req.srcDescriptor = 3;
+    req.generation = 17;
+    req.srcOffset = 0xdeadbe00;
+    req.dstDescriptor = 5;
+    req.dstOffset = 0x00c0ffee;
+    req.count = 4096;
+    req.reqId = 0xabcd;
+    req.notify = true;
+    ReadReq out = roundTrip<ReadReq>(Message(req));
+    EXPECT_EQ(out.srcDescriptor, req.srcDescriptor);
+    EXPECT_EQ(out.generation, req.generation);
+    EXPECT_EQ(out.srcOffset, req.srcOffset);
+    EXPECT_EQ(out.dstDescriptor, req.dstDescriptor);
+    EXPECT_EQ(out.dstOffset, req.dstOffset);
+    EXPECT_EQ(out.count, req.count);
+    EXPECT_EQ(out.reqId, req.reqId);
+    EXPECT_EQ(out.notify, req.notify);
+}
+
+TEST(Protocol, ReadRespRoundTrip)
+{
+    ReadResp resp;
+    resp.reqId = 77;
+    resp.status = util::ErrorCode::kOk;
+    resp.data.assign(40, 0x42);
+    ReadResp out = roundTrip<ReadResp>(Message(resp));
+    EXPECT_EQ(out.reqId, resp.reqId);
+    EXPECT_EQ(out.status, resp.status);
+    EXPECT_EQ(out.data, resp.data);
+}
+
+TEST(Protocol, CasReqRespRoundTrip)
+{
+    CasReq req;
+    req.descriptor = 9;
+    req.generation = 4;
+    req.offset = 4096;
+    req.oldValue = 0x11111111;
+    req.newValue = 0x22222222;
+    req.resultDescriptor = 2;
+    req.resultOffset = 64;
+    req.reqId = 301;
+    CasReq outReq = roundTrip<CasReq>(Message(req));
+    EXPECT_EQ(outReq.oldValue, req.oldValue);
+    EXPECT_EQ(outReq.newValue, req.newValue);
+    EXPECT_EQ(outReq.resultDescriptor, req.resultDescriptor);
+    EXPECT_EQ(outReq.resultOffset, req.resultOffset);
+
+    CasResp resp;
+    resp.reqId = 301;
+    resp.success = true;
+    resp.observed = 0x11111111;
+    CasResp outResp = roundTrip<CasResp>(Message(resp));
+    EXPECT_EQ(outResp.reqId, resp.reqId);
+    EXPECT_TRUE(outResp.success);
+    EXPECT_EQ(outResp.observed, resp.observed);
+}
+
+TEST(Protocol, NakRoundTrip)
+{
+    Nak nak;
+    nak.reqId = 42;
+    nak.error = util::ErrorCode::kStaleGeneration;
+    nak.originalType = MsgType::kReadReq;
+    Nak out = roundTrip<Nak>(Message(nak));
+    EXPECT_EQ(out.reqId, nak.reqId);
+    EXPECT_EQ(out.error, nak.error);
+    EXPECT_EQ(out.originalType, nak.originalType);
+}
+
+TEST(Protocol, RpcEnvelopeRoundTrip)
+{
+    RpcMsg msg;
+    msg.xid = 0xfeedface;
+    msg.isResponse = true;
+    msg.body.assign(500, 0x3f);
+    RpcMsg out = roundTrip<RpcMsg>(Message(msg));
+    EXPECT_EQ(out.xid, msg.xid);
+    EXPECT_TRUE(out.isResponse);
+    EXPECT_EQ(out.body, msg.body);
+}
+
+// ----------------------------------------------------------------------
+// The single-cell size budgets the design document promises
+// ----------------------------------------------------------------------
+
+TEST(ProtocolBudget, SmallWriteWith40BytesFitsOneCell)
+{
+    WriteReq req;
+    req.offset = (1u << 24) - 41;
+    req.data.assign(kSmallWriteMax, 0xee);
+    EXPECT_EQ(messageType(Message(req)), MsgType::kWriteSmall);
+    auto bytes = encodeMessage(Message(req));
+    EXPECT_LE(bytes.size(), net::Cell::kPayloadBytes);
+    EXPECT_EQ(bytes.size(), 8u + kSmallWriteMax); // 8-byte header
+}
+
+TEST(ProtocolBudget, ReadReqFitsOneCell)
+{
+    ReadReq req;
+    req.srcOffset = 0xffffffff;
+    req.dstOffset = 0xffffffff;
+    req.count = 0xffff;
+    req.reqId = 0xffff;
+    auto bytes = encodeMessage(Message(req));
+    EXPECT_LE(bytes.size(), net::Cell::kPayloadBytes);
+}
+
+TEST(ProtocolBudget, SmallReadRespWith40BytesFitsOneCell)
+{
+    ReadResp resp;
+    resp.data.assign(40, 1);
+    auto bytes = encodeMessage(Message(resp));
+    EXPECT_LE(bytes.size(), net::Cell::kPayloadBytes);
+}
+
+TEST(ProtocolBudget, CasMessagesFitOneCell)
+{
+    CasReq req;
+    req.offset = req.resultOffset = 0xffffffff;
+    EXPECT_LE(encodeMessage(Message(req)).size(), net::Cell::kPayloadBytes);
+    CasResp resp;
+    EXPECT_LE(encodeMessage(Message(resp)).size(), net::Cell::kPayloadBytes);
+    Nak nak;
+    EXPECT_LE(encodeMessage(Message(nak)).size(), net::Cell::kPayloadBytes);
+}
+
+// ----------------------------------------------------------------------
+// Small/block selection boundaries
+// ----------------------------------------------------------------------
+
+TEST(ProtocolBoundary, SizeSelectsWriteVariant)
+{
+    WriteReq req;
+    req.data.assign(kSmallWriteMax, 0);
+    EXPECT_EQ(messageType(Message(req)), MsgType::kWriteSmall);
+    req.data.push_back(0);
+    EXPECT_EQ(messageType(Message(req)), MsgType::kWriteBlock);
+}
+
+TEST(ProtocolBoundary, OffsetSelectsWriteVariant)
+{
+    WriteReq req;
+    req.data.assign(8, 0);
+    req.offset = (1u << 24) - 1;
+    EXPECT_EQ(messageType(Message(req)), MsgType::kWriteSmall);
+    req.offset = 1u << 24;
+    EXPECT_EQ(messageType(Message(req)), MsgType::kWriteBlock);
+    // Both variants still round-trip exactly.
+    WriteReq out = roundTrip<WriteReq>(Message(req));
+    EXPECT_EQ(out.offset, req.offset);
+}
+
+class WriteSweep
+    : public ::testing::TestWithParam<std::tuple<uint32_t, size_t, bool>>
+{};
+
+TEST_P(WriteSweep, RoundTripsExactly)
+{
+    auto [offset, size, notify] = GetParam();
+    WriteReq req;
+    req.descriptor = 1;
+    req.generation = 2;
+    req.offset = offset;
+    req.notify = notify;
+    req.data.resize(size);
+    for (size_t i = 0; i < size; ++i) {
+        req.data[i] = static_cast<uint8_t>(i * 31);
+    }
+    WriteReq out = roundTrip<WriteReq>(Message(req));
+    EXPECT_EQ(out.offset, offset);
+    EXPECT_EQ(out.notify, notify);
+    EXPECT_EQ(out.data, req.data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WriteSweep,
+    ::testing::Combine(::testing::Values<uint32_t>(0, 39, 16 * 1024 * 1024,
+                                                   0xfffff000),
+                       ::testing::Values<size_t>(0, 1, 40, 41, 4096, 60000),
+                       ::testing::Bool()));
+
+// ----------------------------------------------------------------------
+// Malformed inputs
+// ----------------------------------------------------------------------
+
+TEST(ProtocolMalformed, TruncatedMessagesRejected)
+{
+    WriteReq req;
+    req.data.assign(20, 7);
+    auto bytes = encodeMessage(Message(req));
+    for (size_t cut : {size_t{0}, size_t{1}, size_t{5}, bytes.size() - 1}) {
+        auto r = decodeMessage(
+            std::span<const uint8_t>(bytes.data(), cut));
+        EXPECT_FALSE(r.ok()) << "cut at " << cut << " decoded";
+    }
+}
+
+TEST(ProtocolMalformed, UnknownTypeRejected)
+{
+    std::vector<uint8_t> junk = {0x0f, 1, 2, 3, 4, 5, 6, 7};
+    auto r = decodeMessage(junk);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), util::ErrorCode::kMalformed);
+}
+
+TEST(ProtocolMalformed, CountBeyondBufferRejected)
+{
+    // Hand-craft a small write whose count exceeds the payload.
+    std::vector<uint8_t> bytes = {0x01, 0x00, 0x00, 0x00,
+                                  0x00, 0x00, 0x00, 0xff};
+    auto r = decodeMessage(bytes);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Protocol, ConsumedReportsMeaningfulBytes)
+{
+    CasResp resp;
+    size_t consumed = 0;
+    auto bytes = encodeMessage(Message(resp));
+    // Pad to a full cell, as a raw cell would be.
+    bytes.resize(net::Cell::kPayloadBytes, 0xAA);
+    auto r = decodeMessage(bytes, &consumed);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(consumed, 8u); // type + reqId + success + observed
+}
+
+} // namespace
+} // namespace remora::rmem

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Control-transfer mechanism tests: notification channels, signal
+ * handlers, select across channels, reader-side read notification,
+ * chunked transfers, and engine bookkeeping.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster_fixture.h"
+#include "rmem/engine.h"
+#include "util/hash.h"
+
+namespace remora {
+namespace {
+
+using test::runToCompletion;
+using test::TwoNodeCluster;
+
+rmem::ImportedSegment
+makeSegment(rmem::RmemEngine &engine, mem::Process &proc, uint32_t size,
+            rmem::NotifyPolicy policy = rmem::NotifyPolicy::kConditional)
+{
+    mem::Vaddr base = proc.space().allocRegion(size);
+    auto h = engine.exportSegment(proc, base, size, rmem::Rights::kAll,
+                                  policy, "seg");
+    EXPECT_TRUE(h.ok());
+    return h.value();
+}
+
+TEST(Notification, SignalHandlerStyleDelivery)
+{
+    TwoNodeCluster c;
+    mem::Process &server = c.nodeB.spawnProcess("server");
+    auto seg = makeSegment(c.engineB, server, 4096);
+    auto *ch = c.engineB.channel(seg.descriptor);
+    ASSERT_NE(ch, nullptr);
+
+    std::vector<rmem::Notification> delivered;
+    ch->setSignalHandler([&](const rmem::Notification &n) {
+        delivered.push_back(n);
+    });
+
+    auto w1 = c.engineA.write(seg, 16, {1, 2}, true);
+    runToCompletion(c.sim, w1);
+    auto w2 = c.engineA.write(seg, 32, {3}, true);
+    runToCompletion(c.sim, w2);
+    c.sim.run();
+
+    ASSERT_EQ(delivered.size(), 2u);
+    EXPECT_EQ(delivered[0].offset, 16u);
+    EXPECT_EQ(delivered[1].offset, 32u);
+    // Signal-style delivery bypasses the queue.
+    EXPECT_FALSE(ch->readable());
+    EXPECT_EQ(ch->delivered(), 2u);
+}
+
+TEST(Notification, SignalDeliveryChargesControlTransfer)
+{
+    TwoNodeCluster c;
+    mem::Process &server = c.nodeB.spawnProcess("server");
+    auto seg = makeSegment(c.engineB, server, 4096);
+    c.engineB.channel(seg.descriptor)
+        ->setSignalHandler([](const rmem::Notification &) {});
+    c.sim.run();
+    c.nodeB.cpu().resetAccounting();
+
+    auto w = c.engineA.write(seg, 0, {1}, true);
+    runToCompletion(c.sim, w);
+    c.sim.run();
+    rmem::CostModel costs;
+    EXPECT_GE(c.nodeB.cpu().busyIn(sim::CpuCategory::kControlTransfer),
+              costs.notifyDispatchCost);
+}
+
+TEST(Notification, QueuedDeliveriesPreserveOrder)
+{
+    TwoNodeCluster c;
+    mem::Process &server = c.nodeB.spawnProcess("server");
+    auto seg = makeSegment(c.engineB, server, 4096);
+    auto *ch = c.engineB.channel(seg.descriptor);
+
+    for (uint8_t i = 0; i < 4; ++i) {
+        auto w = c.engineA.write(seg, i * 64u, {i}, true);
+        runToCompletion(c.sim, w);
+    }
+    c.sim.run();
+
+    rmem::Notification n;
+    for (uint32_t i = 0; i < 4; ++i) {
+        ASSERT_TRUE(ch->tryNext(n));
+        EXPECT_EQ(n.offset, i * 64u);
+    }
+    EXPECT_FALSE(ch->tryNext(n));
+}
+
+TEST(Notification, SelectAcrossChannels)
+{
+    TwoNodeCluster c;
+    mem::Process &server = c.nodeB.spawnProcess("server");
+    auto seg1 = makeSegment(c.engineB, server, 4096);
+    auto seg2 = makeSegment(c.engineB, server, 4096);
+    auto *ch1 = c.engineB.channel(seg1.descriptor);
+    auto *ch2 = c.engineB.channel(seg2.descriptor);
+
+    // Select before anything is readable; a write to seg2 resolves it.
+    auto sel = rmem::ChannelSelector::selectAny(c.sim, {ch1, ch2});
+    EXPECT_FALSE(sel.done());
+    auto w = c.engineA.write(seg2, 0, {9}, true);
+    runToCompletion(c.sim, w);
+    c.sim.run();
+    ASSERT_TRUE(sel.done());
+    EXPECT_EQ(sel.result(), 1u);
+
+    // Select with an already-readable channel resolves immediately.
+    auto sel2 = rmem::ChannelSelector::selectAny(c.sim, {ch1, ch2});
+    ASSERT_TRUE(sel2.done());
+    EXPECT_EQ(sel2.result(), 1u);
+}
+
+TEST(Notification, ReaderSideNotifyOnReadCompletion)
+{
+    TwoNodeCluster c;
+    mem::Process &server = c.nodeB.spawnProcess("server");
+    mem::Process &client = c.nodeA.spawnProcess("client");
+    auto remote = makeSegment(c.engineB, server, 4096,
+                              rmem::NotifyPolicy::kNever);
+    auto local = makeSegment(c.engineA, client, 4096);
+    auto *ch = c.engineA.channel(local.descriptor);
+
+    auto waiter = ch->next();
+    auto rd = c.engineA.read(remote, 0, local.descriptor, 0, 32,
+                             /*notify=*/true);
+    auto out = runToCompletion(c.sim, rd);
+    ASSERT_TRUE(out.status.ok());
+    c.sim.run();
+    ASSERT_TRUE(waiter.done());
+    rmem::Notification n = waiter.result();
+    EXPECT_EQ(n.kind, rmem::NotifyKind::kRead);
+    EXPECT_EQ(n.count, 32u);
+}
+
+TEST(RmemChunking, LargeReadSpansMultipleFrames)
+{
+    TwoNodeCluster c;
+    mem::Process &server = c.nodeB.spawnProcess("server");
+    mem::Process &client = c.nodeA.spawnProcess("client");
+    uint32_t size = 150000;
+    mem::Vaddr base = server.space().allocRegion(size);
+    std::vector<uint8_t> content(size);
+    for (size_t i = 0; i < content.size(); ++i) {
+        content[i] = static_cast<uint8_t>(util::mix64(i) >> 24);
+    }
+    ASSERT_TRUE(server.space().write(base, content).ok());
+    auto remote = c.engineB.exportSegment(server, base, size,
+                                          rmem::Rights::kAll,
+                                          rmem::NotifyPolicy::kNever, "big");
+    ASSERT_TRUE(remote.ok());
+
+    mem::Vaddr lbase = client.space().allocRegion(size);
+    auto local = c.engineA.exportSegment(client, lbase, size,
+                                         rmem::Rights::kAll,
+                                         rmem::NotifyPolicy::kNever, "dst");
+    ASSERT_TRUE(local.ok());
+
+    auto rd = c.engineA.read(remote.value(), 0, local.value().descriptor, 0,
+                             size);
+    auto out = runToCompletion(c.sim, rd);
+    ASSERT_TRUE(out.status.ok());
+    EXPECT_EQ(out.data, content);
+    // Deposited locally as well.
+    std::vector<uint8_t> deposited(size);
+    ASSERT_TRUE(client.space().read(lbase, deposited).ok());
+    EXPECT_EQ(deposited, content);
+}
+
+TEST(RmemBookkeeping, StatsCountOperations)
+{
+    TwoNodeCluster c;
+    mem::Process &server = c.nodeB.spawnProcess("server");
+    mem::Process &client = c.nodeA.spawnProcess("client");
+    auto remote = makeSegment(c.engineB, server, 4096);
+    auto local = makeSegment(c.engineA, client, 4096);
+
+    auto w = c.engineA.write(remote, 0, {1});
+    runToCompletion(c.sim, w);
+    auto r = c.engineA.read(remote, 0, local.descriptor, 0, 8);
+    runToCompletion(c.sim, r);
+    auto cas = c.engineA.cas(remote, 0, 0, 1, local.descriptor, 0);
+    runToCompletion(c.sim, cas);
+    c.sim.run();
+
+    EXPECT_EQ(c.engineA.stats().writesIssued.value(), 1u);
+    EXPECT_EQ(c.engineA.stats().readsIssued.value(), 1u);
+    EXPECT_EQ(c.engineA.stats().casIssued.value(), 1u);
+    EXPECT_EQ(c.engineB.stats().requestsServed.value(), 3u);
+    EXPECT_EQ(c.engineB.stats().naksSent.value(), 0u);
+}
+
+TEST(RmemBookkeeping, WireCountsMessagesAndBytes)
+{
+    TwoNodeCluster c;
+    mem::Process &server = c.nodeB.spawnProcess("server");
+    auto remote = makeSegment(c.engineB, server, 4096);
+    uint64_t sentBefore = c.engineA.wire().messagesSent();
+    auto w = c.engineA.write(remote, 0, std::vector<uint8_t>(24, 1));
+    runToCompletion(c.sim, w);
+    c.sim.run();
+    EXPECT_EQ(c.engineA.wire().messagesSent(), sentBefore + 1);
+    EXPECT_EQ(c.engineB.wire().messagesReceived(), 1u);
+    EXPECT_GE(c.engineA.wire().bytesSent(), 24u + 8u);
+}
+
+TEST(RmemBookkeeping, DescriptorExhaustionReported)
+{
+    TwoNodeCluster c;
+    mem::Process &server = c.nodeB.spawnProcess("server");
+    mem::Vaddr base = server.space().allocRegion(4096);
+    util::Status last;
+    for (int i = 0; i < 257; ++i) {
+        auto h = c.engineB.exportSegment(server, base, 4096,
+                                         rmem::Rights::kAll,
+                                         rmem::NotifyPolicy::kNever, "s");
+        last = h.status();
+    }
+    EXPECT_EQ(last.code(), util::ErrorCode::kResource);
+}
+
+TEST(RmemBookkeeping, ExportPinsAndRevokeUnpins)
+{
+    TwoNodeCluster c;
+    mem::Process &server = c.nodeB.spawnProcess("server");
+    mem::Vaddr base = server.space().allocRegion(2 * mem::kPageBytes);
+    auto h = c.engineB.exportSegment(server, base, 2 * mem::kPageBytes,
+                                     rmem::Rights::kAll,
+                                     rmem::NotifyPolicy::kNever, "pinned");
+    ASSERT_TRUE(h.ok());
+    EXPECT_TRUE(server.space().pageTable().lookup(base)->pinned);
+    EXPECT_TRUE(server.space()
+                    .pageTable()
+                    .lookup(base + mem::kPageBytes)
+                    ->pinned);
+    ASSERT_TRUE(c.engineB.revokeSegment(h.value().descriptor).ok());
+    EXPECT_FALSE(server.space().pageTable().lookup(base)->pinned);
+}
+
+TEST(RmemBookkeeping, LocalHandleMatchesExport)
+{
+    TwoNodeCluster c;
+    mem::Process &server = c.nodeB.spawnProcess("server");
+    auto h = makeSegment(c.engineB, server, 8192);
+    auto lh = c.engineB.localHandle(h.descriptor);
+    ASSERT_TRUE(lh.ok());
+    EXPECT_EQ(lh.value().node, 2);
+    EXPECT_EQ(lh.value().generation, h.generation);
+    EXPECT_EQ(lh.value().size, 8192u);
+    EXPECT_FALSE(c.engineB.localHandle(200).ok());
+}
+
+} // namespace
+} // namespace remora

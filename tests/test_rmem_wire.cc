@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Wire-layer unit tests: framing decisions, malformed-message
+ * handling, descriptor-table internals, and the §3.5/§3.6 per-word
+ * cost hooks (crypto, byte swap).
+ */
+#include <gtest/gtest.h>
+
+#include "cluster_fixture.h"
+#include "rmem/descriptor.h"
+#include "rmem/engine.h"
+
+namespace remora {
+namespace {
+
+using test::runToCompletion;
+using test::TwoNodeCluster;
+
+// ----------------------------------------------------------------------
+// Framing decisions
+// ----------------------------------------------------------------------
+
+TEST(Wire, SmallMessagesTravelAsOneCell)
+{
+    TwoNodeCluster c;
+    mem::Process &server = c.nodeB.spawnProcess("server");
+    mem::Vaddr base = server.space().allocRegion(4096);
+    auto seg = c.engineB.exportSegment(server, base, 4096,
+                                       rmem::Rights::kAll,
+                                       rmem::NotifyPolicy::kNever, "s");
+    ASSERT_TRUE(seg.ok());
+    c.sim.run();
+
+    uint64_t cells0 = c.nodeA.nic().cellsTx();
+    auto w = c.engineA.write(seg.value(), 0, std::vector<uint8_t>(40, 1));
+    runToCompletion(c.sim, w);
+    c.sim.run();
+    // 40 bytes + 8-byte header: exactly one cell (the paper's claim).
+    EXPECT_EQ(c.nodeA.nic().cellsTx() - cells0, 1u);
+
+    cells0 = c.nodeA.nic().cellsTx();
+    auto w2 = c.engineA.write(seg.value(), 0, std::vector<uint8_t>(41, 1));
+    runToCompletion(c.sim, w2);
+    c.sim.run();
+    // 41 bytes spill into an AAL5 frame: 10B header + 41B + trailer.
+    EXPECT_EQ(c.nodeA.nic().cellsTx() - cells0, 2u);
+}
+
+TEST(Wire, BlockWriteCellCountMatchesAal5)
+{
+    TwoNodeCluster c;
+    mem::Process &server = c.nodeB.spawnProcess("server");
+    mem::Vaddr base = server.space().allocRegion(16384);
+    auto seg = c.engineB.exportSegment(server, base, 16384,
+                                       rmem::Rights::kAll,
+                                       rmem::NotifyPolicy::kNever, "s");
+    ASSERT_TRUE(seg.ok());
+    c.sim.run();
+
+    uint64_t cells0 = c.nodeA.nic().cellsTx();
+    auto w = c.engineA.write(seg.value(), 0, std::vector<uint8_t>(4096, 1));
+    runToCompletion(c.sim, w);
+    c.sim.run();
+    // Block-write header is 10 bytes; frame = 4106 bytes of payload.
+    EXPECT_EQ(c.nodeA.nic().cellsTx() - cells0, net::aal5CellCount(4106));
+}
+
+TEST(Wire, MalformedRawCellCountedAndDropped)
+{
+    TwoNodeCluster c;
+    c.sim.run();
+    // Inject a raw cell whose payload decodes to an unknown type.
+    net::Cell junk;
+    junk.vpi = 2;
+    junk.vci = 1;
+    junk.pti = 0x2 | 0x1; // raw + last
+    junk.payload.fill(0x0f);
+    c.nodeA.nic().pushTx(junk);
+    c.sim.run();
+    EXPECT_EQ(c.engineB.wire().decodeErrors(), 1u);
+    EXPECT_EQ(c.engineB.wire().messagesReceived(), 0u);
+}
+
+// ----------------------------------------------------------------------
+// DescriptorTable internals
+// ----------------------------------------------------------------------
+
+TEST(DescriptorTable, GenerationSurvivesSlotReuse)
+{
+    sim::Simulator sim;
+    sim::CpuResource cpu(sim, "cpu");
+    rmem::CostModel costs;
+    rmem::DescriptorTable table(cpu, costs);
+
+    auto first = table.allocate(1, 0x1000, 64, rmem::Rights::kAll,
+                                rmem::NotifyPolicy::kNever, "a");
+    ASSERT_TRUE(first.ok());
+    rmem::Generation g1 = table.get(first.value())->generation;
+    ASSERT_TRUE(table.release(first.value()).ok());
+    auto second = table.allocate(1, 0x2000, 64, rmem::Rights::kAll,
+                                 rmem::NotifyPolicy::kNever, "b");
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second.value(), first.value()); // first-fit reuse
+    EXPECT_NE(table.get(second.value())->generation, g1);
+}
+
+TEST(DescriptorTable, ValidateChecksEverySurface)
+{
+    sim::Simulator sim;
+    sim::CpuResource cpu(sim, "cpu");
+    rmem::CostModel costs;
+    rmem::DescriptorTable table(cpu, costs);
+    auto id = table.allocate(1, 0x1000, 100, rmem::Rights::kRead,
+                             rmem::NotifyPolicy::kNever, "seg");
+    ASSERT_TRUE(id.ok());
+    rmem::Generation gen = table.get(id.value())->generation;
+
+    // Happy path.
+    EXPECT_TRUE(table.validate(id.value(), gen, 0, 100,
+                               rmem::Rights::kRead).ok());
+    // Each rejection surface, individually.
+    EXPECT_EQ(table.validate(99, gen, 0, 4, rmem::Rights::kRead)
+                  .status().code(),
+              util::ErrorCode::kBadDescriptor);
+    EXPECT_EQ(table.validate(id.value(), gen + 1, 0, 4,
+                             rmem::Rights::kRead).status().code(),
+              util::ErrorCode::kStaleGeneration);
+    EXPECT_EQ(table.validate(id.value(), gen, 0, 4,
+                             rmem::Rights::kWrite).status().code(),
+              util::ErrorCode::kAccessDenied);
+    EXPECT_EQ(table.validate(id.value(), gen, 90, 20,
+                             rmem::Rights::kRead).status().code(),
+              util::ErrorCode::kOutOfBounds);
+    // Offset+count overflow must not wrap past the bound.
+    EXPECT_EQ(table.validate(id.value(), gen, 0xffffffffffffffffull, 2,
+                             rmem::Rights::kRead).status().code(),
+              util::ErrorCode::kOutOfBounds);
+}
+
+TEST(DescriptorTable, LiveCountTracksAllocations)
+{
+    sim::Simulator sim;
+    sim::CpuResource cpu(sim, "cpu");
+    rmem::CostModel costs;
+    rmem::DescriptorTable table(cpu, costs);
+    EXPECT_EQ(table.liveCount(), 0u);
+    auto a = table.allocate(1, 0, 16, rmem::Rights::kAll,
+                            rmem::NotifyPolicy::kNever, "a");
+    auto b = table.allocate(1, 0, 16, rmem::Rights::kAll,
+                            rmem::NotifyPolicy::kNever, "b");
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(table.liveCount(), 2u);
+    ASSERT_TRUE(table.release(a.value()).ok());
+    EXPECT_EQ(table.liveCount(), 1u);
+    EXPECT_FALSE(table.release(a.value()).ok()); // double release
+}
+
+// ----------------------------------------------------------------------
+// §3.6 heterogeneity: byte-swap cost on the PIO path
+// ----------------------------------------------------------------------
+
+TEST(Wire, ByteSwappedPeerPaysPerWordCost)
+{
+    auto measureWriteUs = [](bool swapped) {
+        TwoNodeCluster c;
+        if (swapped) {
+            // Both kernels treat the other as opposite-byte-order.
+            c.engineA.wire().setPeerByteSwapped(2, true);
+            c.engineB.wire().setPeerByteSwapped(1, true);
+        }
+        mem::Process &server = c.nodeB.spawnProcess("server");
+        mem::Vaddr base = server.space().allocRegion(4096);
+        auto seg = c.engineB.exportSegment(server, base, 4096,
+                                           rmem::Rights::kAll,
+                                           rmem::NotifyPolicy::kNever, "x");
+        EXPECT_TRUE(seg.ok());
+        c.sim.run();
+        sim::Time t0 = c.sim.now();
+        auto w = c.engineA.write(seg.value(), 0,
+                                 std::vector<uint8_t>(40, 1));
+        runToCompletion(c.sim, w);
+        c.sim.run();
+        return sim::toUsec(c.nodeB.cpu().busyUntil() - t0);
+    };
+
+    double plain = measureWriteUs(false);
+    double hetero = measureWriteUs(true);
+    // A small, bounded surcharge: "straightforward to accommodate".
+    EXPECT_GT(hetero, plain);
+    EXPECT_LT(hetero, plain * 1.15);
+}
+
+TEST(Wire, ByteSwapFlagIsPerPeer)
+{
+    TwoNodeCluster c;
+    c.engineA.wire().setPeerByteSwapped(2, true);
+    EXPECT_TRUE(c.engineA.wire().peerByteSwapped(2));
+    EXPECT_FALSE(c.engineA.wire().peerByteSwapped(3));
+    c.engineA.wire().setPeerByteSwapped(2, false);
+    EXPECT_FALSE(c.engineA.wire().peerByteSwapped(2));
+}
+
+} // namespace
+} // namespace remora

@@ -1,0 +1,419 @@
+/**
+ * @file
+ * Unit tests for the simulation engine: event ordering, cancellation,
+ * coroutine tasks, one-shot promises, and the CPU resource model.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/cpu.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace remora::sim {
+namespace {
+
+// ----------------------------------------------------------------------
+// Simulator / event queue
+// ----------------------------------------------------------------------
+
+TEST(Simulator, ExecutesInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(30, [&] { order.push_back(3); });
+    sim.schedule(10, [&] { order.push_back(1); });
+    sim.schedule(20, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, SameInstantRunsInInsertionOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        sim.schedule(100, [&order, i] { order.push_back(i); });
+    }
+    sim.run();
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+    }
+}
+
+TEST(Simulator, ZeroDelayRunsLaterSameInstant)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(0, [&] {
+        order.push_back(1);
+        sim.schedule(0, [&] { order.push_back(2); });
+    });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Simulator, CancelPreventsExecution)
+{
+    Simulator sim;
+    bool ran = false;
+    EventId id = sim.schedule(10, [&] { ran = true; });
+    sim.cancel(id);
+    sim.run();
+    EXPECT_FALSE(ran);
+    // Double-cancel and cancel-after-run are harmless.
+    sim.cancel(id);
+}
+
+TEST(Simulator, CancelIsSelective)
+{
+    Simulator sim;
+    int count = 0;
+    sim.schedule(10, [&] { ++count; });
+    EventId id = sim.schedule(10, [&] { ++count; });
+    sim.schedule(10, [&] { ++count; });
+    sim.cancel(id);
+    sim.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RunRespectsLimit)
+{
+    Simulator sim;
+    int count = 0;
+    sim.schedule(10, [&] { ++count; });
+    sim.schedule(20, [&] { ++count; });
+    sim.schedule(30, [&] { ++count; });
+    uint64_t ran = sim.run(20);
+    EXPECT_EQ(ran, 2u);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(sim.now(), 20);
+    sim.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, StepRunsExactlyOne)
+{
+    Simulator sim;
+    int count = 0;
+    sim.schedule(5, [&] { ++count; });
+    sim.schedule(6, [&] { ++count; });
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(sim.step());
+    EXPECT_FALSE(sim.step());
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, EventsCanScheduleEvents)
+{
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 100) {
+            sim.schedule(1, recurse);
+        }
+    };
+    sim.schedule(1, recurse);
+    sim.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(sim.now(), 100);
+    EXPECT_EQ(sim.eventsProcessed(), 100u);
+}
+
+// ----------------------------------------------------------------------
+// Task coroutines
+// ----------------------------------------------------------------------
+
+Task<int>
+immediateTask()
+{
+    co_return 42;
+}
+
+Task<int>
+delayedTask(Simulator &sim, Duration d)
+{
+    co_await delay(sim, d);
+    co_return 7;
+}
+
+TEST(Task, EagerStartCompletesImmediately)
+{
+    auto t = immediateTask();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(t.result(), 42);
+}
+
+TEST(Task, DelaySuspendsUntilSimTime)
+{
+    Simulator sim;
+    auto t = delayedTask(sim, usec(10));
+    EXPECT_FALSE(t.done());
+    sim.run();
+    EXPECT_TRUE(t.done());
+    EXPECT_EQ(t.result(), 7);
+    EXPECT_EQ(sim.now(), usec(10));
+}
+
+Task<int>
+nestedTask(Simulator &sim)
+{
+    int a = co_await delayedTask(sim, usec(5));
+    int b = co_await delayedTask(sim, usec(5));
+    co_return a + b;
+}
+
+TEST(Task, AwaitingSubTasksComposes)
+{
+    Simulator sim;
+    auto t = nestedTask(sim);
+    sim.run();
+    ASSERT_TRUE(t.done());
+    EXPECT_EQ(t.result(), 14);
+    EXPECT_EQ(sim.now(), usec(10));
+}
+
+Task<void>
+throwingTask(Simulator &sim)
+{
+    co_await delay(sim, 1);
+    throw std::runtime_error("boom");
+}
+
+Task<bool>
+catchingTask(Simulator &sim)
+{
+    try {
+        co_await throwingTask(sim);
+    } catch (const std::runtime_error &e) {
+        co_return std::string(e.what()) == "boom";
+    }
+    co_return false;
+}
+
+TEST(Task, ExceptionsPropagateThroughAwait)
+{
+    Simulator sim;
+    auto t = catchingTask(sim);
+    sim.run();
+    ASSERT_TRUE(t.done());
+    EXPECT_TRUE(t.result());
+}
+
+TEST(Task, DetachedTaskRunsToCompletion)
+{
+    Simulator sim;
+    int done = 0;
+    {
+        auto t = [](Simulator *s, int *flag) -> Task<void> {
+            co_await delay(*s, usec(3));
+            *flag = 1;
+        }(&sim, &done);
+        t.detach();
+    }
+    EXPECT_EQ(done, 0);
+    sim.run();
+    EXPECT_EQ(done, 1);
+}
+
+TEST(Task, MoveTransfersOwnership)
+{
+    Simulator sim;
+    auto t1 = delayedTask(sim, usec(1));
+    Task<int> t2 = std::move(t1);
+    sim.run();
+    ASSERT_TRUE(t2.done());
+    EXPECT_EQ(t2.result(), 7);
+}
+
+// ----------------------------------------------------------------------
+// Promise / Future
+// ----------------------------------------------------------------------
+
+TEST(Future, SetBeforeAwaitResolvesImmediately)
+{
+    Simulator sim;
+    Promise<int> p(sim);
+    p.set(5);
+    auto t = [](Future<int> f) -> Task<int> { co_return co_await f; }(
+        p.future());
+    sim.run();
+    ASSERT_TRUE(t.done());
+    EXPECT_EQ(t.result(), 5);
+}
+
+TEST(Future, SetAfterAwaitWakesWaiter)
+{
+    Simulator sim;
+    Promise<int> p(sim);
+    auto t = [](Future<int> f) -> Task<int> { co_return co_await f; }(
+        p.future());
+    sim.run();
+    EXPECT_FALSE(t.done());
+    p.set(9);
+    sim.run();
+    ASSERT_TRUE(t.done());
+    EXPECT_EQ(t.result(), 9);
+}
+
+TEST(Future, VoidSpecialization)
+{
+    Simulator sim;
+    Promise<void> p(sim);
+    bool resumed = false;
+    auto t = [](Future<void> f, bool *flag) -> Task<void> {
+        co_await f;
+        *flag = true;
+    }(p.future(), &resumed);
+    sim.run();
+    EXPECT_FALSE(resumed);
+    p.set();
+    sim.run();
+    EXPECT_TRUE(resumed);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Future, ExceptionDelivery)
+{
+    Simulator sim;
+    Promise<int> p(sim);
+    auto t = [](Future<int> f) -> Task<bool> {
+        try {
+            co_await f;
+        } catch (const std::runtime_error &) {
+            co_return true;
+        }
+        co_return false;
+    }(p.future());
+    p.setException(std::make_exception_ptr(std::runtime_error("x")));
+    sim.run();
+    ASSERT_TRUE(t.done());
+    EXPECT_TRUE(t.result());
+}
+
+// ----------------------------------------------------------------------
+// CpuResource
+// ----------------------------------------------------------------------
+
+TEST(Cpu, SerializesWorkFcfs)
+{
+    Simulator sim;
+    CpuResource cpu(sim, "cpu");
+    std::vector<Time> completions;
+    cpu.post(usec(10), CpuCategory::kOther,
+             [&] { completions.push_back(sim.now()); });
+    cpu.post(usec(5), CpuCategory::kOther,
+             [&] { completions.push_back(sim.now()); });
+    sim.run();
+    ASSERT_EQ(completions.size(), 2u);
+    EXPECT_EQ(completions[0], usec(10));
+    EXPECT_EQ(completions[1], usec(15));
+    EXPECT_EQ(cpu.totalBusy(), usec(15));
+}
+
+TEST(Cpu, IdleGapsDoNotAccumulateBusyTime)
+{
+    Simulator sim;
+    CpuResource cpu(sim, "cpu");
+    cpu.post(usec(10), CpuCategory::kOther);
+    sim.run();
+    // Let simulated time pass idle.
+    sim.schedule(usec(100), [] {});
+    sim.run();
+    cpu.post(usec(10), CpuCategory::kOther);
+    sim.run();
+    EXPECT_EQ(cpu.totalBusy(), usec(20));
+    // First burst ended at 10us, the idle marker fired at 110us, and the
+    // second burst runs 110-120us; only 20us of busy time accrued.
+    EXPECT_EQ(cpu.busyUntil(), usec(110) + usec(10));
+}
+
+TEST(Cpu, CategoriesAccumulateIndependently)
+{
+    Simulator sim;
+    CpuResource cpu(sim, "cpu");
+    cpu.post(usec(3), CpuCategory::kDataReceive);
+    cpu.post(usec(5), CpuCategory::kControlTransfer);
+    cpu.post(usec(7), CpuCategory::kDataReceive);
+    sim.run();
+    EXPECT_EQ(cpu.busyIn(CpuCategory::kDataReceive), usec(10));
+    EXPECT_EQ(cpu.busyIn(CpuCategory::kControlTransfer), usec(5));
+    EXPECT_EQ(cpu.busyIn(CpuCategory::kProcExec), 0);
+    EXPECT_EQ(cpu.totalBusy(), usec(15));
+}
+
+TEST(Cpu, ResetAccountingClearsCounters)
+{
+    Simulator sim;
+    CpuResource cpu(sim, "cpu");
+    cpu.post(usec(5), CpuCategory::kProcExec);
+    sim.run();
+    cpu.resetAccounting();
+    EXPECT_EQ(cpu.totalBusy(), 0);
+    EXPECT_EQ(cpu.busyIn(CpuCategory::kProcExec), 0);
+}
+
+TEST(Cpu, CoroutineUseAwaitsCompletion)
+{
+    Simulator sim;
+    CpuResource cpu(sim, "cpu");
+    auto t = [](Simulator *s, CpuResource *c) -> Task<Time> {
+        co_await c->use(usec(25), CpuCategory::kProcExec);
+        co_return s->now();
+    }(&sim, &cpu);
+    sim.run();
+    ASSERT_TRUE(t.done());
+    EXPECT_EQ(t.result(), usec(25));
+}
+
+TEST(Cpu, UtilizationOverWindow)
+{
+    Simulator sim;
+    CpuResource cpu(sim, "cpu");
+    cpu.post(usec(50), CpuCategory::kOther);
+    sim.schedule(usec(100), [] {});
+    sim.run();
+    EXPECT_NEAR(cpu.utilizationSince(0), 0.5, 1e-9);
+}
+
+TEST(Cpu, CategoryNamesAreStable)
+{
+    EXPECT_STREQ(cpuCategoryName(CpuCategory::kDataReceive), "data_receive");
+    EXPECT_STREQ(cpuCategoryName(CpuCategory::kControlTransfer),
+                 "control_transfer");
+    EXPECT_STREQ(cpuCategoryName(CpuCategory::kDataReply), "data_reply");
+}
+
+// Parameterized: N tasks contending for the CPU finish in FIFO order
+// and the total busy time is exact.
+class CpuContention : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CpuContention, FifoAndExactAccounting)
+{
+    int n = GetParam();
+    Simulator sim;
+    CpuResource cpu(sim, "cpu");
+    std::vector<int> finish;
+    for (int i = 0; i < n; ++i) {
+        cpu.post(usec(2), CpuCategory::kOther,
+                 [&finish, i] { finish.push_back(i); });
+    }
+    sim.run();
+    ASSERT_EQ(finish.size(), static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(finish[static_cast<size_t>(i)], i);
+    }
+    EXPECT_EQ(cpu.totalBusy(), usec(2) * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, CpuContention,
+                         ::testing::Values(1, 2, 16, 128));
+
+} // namespace
+} // namespace remora::sim
