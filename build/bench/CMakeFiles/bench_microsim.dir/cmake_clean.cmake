@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_microsim.dir/bench_microsim.cc.o"
+  "CMakeFiles/bench_microsim.dir/bench_microsim.cc.o.d"
+  "bench_microsim"
+  "bench_microsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_clients.dir/bench_scaling_clients.cc.o"
+  "CMakeFiles/bench_scaling_clients.dir/bench_scaling_clients.cc.o.d"
+  "bench_scaling_clients"
+  "bench_scaling_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

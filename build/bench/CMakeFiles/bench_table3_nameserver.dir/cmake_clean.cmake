@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_nameserver.dir/bench_table3_nameserver.cc.o"
+  "CMakeFiles/bench_table3_nameserver.dir/bench_table3_nameserver.cc.o.d"
+  "bench_table3_nameserver"
+  "bench_table3_nameserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_nameserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cas_lock.dir/cas_lock.cpp.o"
+  "CMakeFiles/cas_lock.dir/cas_lock.cpp.o.d"
+  "cas_lock"
+  "cas_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cas_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_detector.dir/failure_detector.cpp.o"
+  "CMakeFiles/failure_detector.dir/failure_detector.cpp.o.d"
+  "failure_detector"
+  "failure_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

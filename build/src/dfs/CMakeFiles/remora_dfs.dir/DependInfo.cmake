@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/backend.cc" "src/dfs/CMakeFiles/remora_dfs.dir/backend.cc.o" "gcc" "src/dfs/CMakeFiles/remora_dfs.dir/backend.cc.o.d"
+  "/root/repo/src/dfs/cache_layout.cc" "src/dfs/CMakeFiles/remora_dfs.dir/cache_layout.cc.o" "gcc" "src/dfs/CMakeFiles/remora_dfs.dir/cache_layout.cc.o.d"
+  "/root/repo/src/dfs/clerk.cc" "src/dfs/CMakeFiles/remora_dfs.dir/clerk.cc.o" "gcc" "src/dfs/CMakeFiles/remora_dfs.dir/clerk.cc.o.d"
+  "/root/repo/src/dfs/file_store.cc" "src/dfs/CMakeFiles/remora_dfs.dir/file_store.cc.o" "gcc" "src/dfs/CMakeFiles/remora_dfs.dir/file_store.cc.o.d"
+  "/root/repo/src/dfs/nfs_proto.cc" "src/dfs/CMakeFiles/remora_dfs.dir/nfs_proto.cc.o" "gcc" "src/dfs/CMakeFiles/remora_dfs.dir/nfs_proto.cc.o.d"
+  "/root/repo/src/dfs/push_cache.cc" "src/dfs/CMakeFiles/remora_dfs.dir/push_cache.cc.o" "gcc" "src/dfs/CMakeFiles/remora_dfs.dir/push_cache.cc.o.d"
+  "/root/repo/src/dfs/server.cc" "src/dfs/CMakeFiles/remora_dfs.dir/server.cc.o" "gcc" "src/dfs/CMakeFiles/remora_dfs.dir/server.cc.o.d"
+  "/root/repo/src/dfs/token.cc" "src/dfs/CMakeFiles/remora_dfs.dir/token.cc.o" "gcc" "src/dfs/CMakeFiles/remora_dfs.dir/token.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/names/CMakeFiles/remora_names.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/remora_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmem/CMakeFiles/remora_rmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/remora_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/remora_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/remora_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/remora_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

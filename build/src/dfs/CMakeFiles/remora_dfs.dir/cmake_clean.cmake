@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remora_dfs.dir/backend.cc.o"
+  "CMakeFiles/remora_dfs.dir/backend.cc.o.d"
+  "CMakeFiles/remora_dfs.dir/cache_layout.cc.o"
+  "CMakeFiles/remora_dfs.dir/cache_layout.cc.o.d"
+  "CMakeFiles/remora_dfs.dir/clerk.cc.o"
+  "CMakeFiles/remora_dfs.dir/clerk.cc.o.d"
+  "CMakeFiles/remora_dfs.dir/file_store.cc.o"
+  "CMakeFiles/remora_dfs.dir/file_store.cc.o.d"
+  "CMakeFiles/remora_dfs.dir/nfs_proto.cc.o"
+  "CMakeFiles/remora_dfs.dir/nfs_proto.cc.o.d"
+  "CMakeFiles/remora_dfs.dir/push_cache.cc.o"
+  "CMakeFiles/remora_dfs.dir/push_cache.cc.o.d"
+  "CMakeFiles/remora_dfs.dir/server.cc.o"
+  "CMakeFiles/remora_dfs.dir/server.cc.o.d"
+  "CMakeFiles/remora_dfs.dir/token.cc.o"
+  "CMakeFiles/remora_dfs.dir/token.cc.o.d"
+  "libremora_dfs.a"
+  "libremora_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remora_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libremora_dfs.a"
+)

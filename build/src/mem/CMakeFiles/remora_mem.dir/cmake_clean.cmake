@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remora_mem.dir/address_space.cc.o"
+  "CMakeFiles/remora_mem.dir/address_space.cc.o.d"
+  "CMakeFiles/remora_mem.dir/node.cc.o"
+  "CMakeFiles/remora_mem.dir/node.cc.o.d"
+  "CMakeFiles/remora_mem.dir/page_table.cc.o"
+  "CMakeFiles/remora_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/remora_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/remora_mem.dir/phys_mem.cc.o.d"
+  "libremora_mem.a"
+  "libremora_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remora_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

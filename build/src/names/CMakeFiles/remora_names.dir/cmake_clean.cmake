@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remora_names.dir/clerk.cc.o"
+  "CMakeFiles/remora_names.dir/clerk.cc.o.d"
+  "CMakeFiles/remora_names.dir/name_record.cc.o"
+  "CMakeFiles/remora_names.dir/name_record.cc.o.d"
+  "libremora_names.a"
+  "libremora_names.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remora_names.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

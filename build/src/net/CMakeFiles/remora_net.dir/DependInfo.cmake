@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/aal5.cc" "src/net/CMakeFiles/remora_net.dir/aal5.cc.o" "gcc" "src/net/CMakeFiles/remora_net.dir/aal5.cc.o.d"
+  "/root/repo/src/net/cell.cc" "src/net/CMakeFiles/remora_net.dir/cell.cc.o" "gcc" "src/net/CMakeFiles/remora_net.dir/cell.cc.o.d"
+  "/root/repo/src/net/host_interface.cc" "src/net/CMakeFiles/remora_net.dir/host_interface.cc.o" "gcc" "src/net/CMakeFiles/remora_net.dir/host_interface.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/net/CMakeFiles/remora_net.dir/link.cc.o" "gcc" "src/net/CMakeFiles/remora_net.dir/link.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/remora_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/remora_net.dir/network.cc.o.d"
+  "/root/repo/src/net/switch.cc" "src/net/CMakeFiles/remora_net.dir/switch.cc.o" "gcc" "src/net/CMakeFiles/remora_net.dir/switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/remora_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/remora_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

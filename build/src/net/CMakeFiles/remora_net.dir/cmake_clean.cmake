@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remora_net.dir/aal5.cc.o"
+  "CMakeFiles/remora_net.dir/aal5.cc.o.d"
+  "CMakeFiles/remora_net.dir/cell.cc.o"
+  "CMakeFiles/remora_net.dir/cell.cc.o.d"
+  "CMakeFiles/remora_net.dir/host_interface.cc.o"
+  "CMakeFiles/remora_net.dir/host_interface.cc.o.d"
+  "CMakeFiles/remora_net.dir/link.cc.o"
+  "CMakeFiles/remora_net.dir/link.cc.o.d"
+  "CMakeFiles/remora_net.dir/network.cc.o"
+  "CMakeFiles/remora_net.dir/network.cc.o.d"
+  "CMakeFiles/remora_net.dir/switch.cc.o"
+  "CMakeFiles/remora_net.dir/switch.cc.o.d"
+  "libremora_net.a"
+  "libremora_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remora_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rmem/descriptor.cc" "src/rmem/CMakeFiles/remora_rmem.dir/descriptor.cc.o" "gcc" "src/rmem/CMakeFiles/remora_rmem.dir/descriptor.cc.o.d"
+  "/root/repo/src/rmem/engine.cc" "src/rmem/CMakeFiles/remora_rmem.dir/engine.cc.o" "gcc" "src/rmem/CMakeFiles/remora_rmem.dir/engine.cc.o.d"
+  "/root/repo/src/rmem/notification.cc" "src/rmem/CMakeFiles/remora_rmem.dir/notification.cc.o" "gcc" "src/rmem/CMakeFiles/remora_rmem.dir/notification.cc.o.d"
+  "/root/repo/src/rmem/protocol.cc" "src/rmem/CMakeFiles/remora_rmem.dir/protocol.cc.o" "gcc" "src/rmem/CMakeFiles/remora_rmem.dir/protocol.cc.o.d"
+  "/root/repo/src/rmem/sync.cc" "src/rmem/CMakeFiles/remora_rmem.dir/sync.cc.o" "gcc" "src/rmem/CMakeFiles/remora_rmem.dir/sync.cc.o.d"
+  "/root/repo/src/rmem/wire.cc" "src/rmem/CMakeFiles/remora_rmem.dir/wire.cc.o" "gcc" "src/rmem/CMakeFiles/remora_rmem.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/remora_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/remora_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/remora_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/remora_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

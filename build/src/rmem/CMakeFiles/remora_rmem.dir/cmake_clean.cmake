@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remora_rmem.dir/descriptor.cc.o"
+  "CMakeFiles/remora_rmem.dir/descriptor.cc.o.d"
+  "CMakeFiles/remora_rmem.dir/engine.cc.o"
+  "CMakeFiles/remora_rmem.dir/engine.cc.o.d"
+  "CMakeFiles/remora_rmem.dir/notification.cc.o"
+  "CMakeFiles/remora_rmem.dir/notification.cc.o.d"
+  "CMakeFiles/remora_rmem.dir/protocol.cc.o"
+  "CMakeFiles/remora_rmem.dir/protocol.cc.o.d"
+  "CMakeFiles/remora_rmem.dir/sync.cc.o"
+  "CMakeFiles/remora_rmem.dir/sync.cc.o.d"
+  "CMakeFiles/remora_rmem.dir/wire.cc.o"
+  "CMakeFiles/remora_rmem.dir/wire.cc.o.d"
+  "libremora_rmem.a"
+  "libremora_rmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remora_rmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for remora_rmem.
+# This may be replaced when dependencies are built.

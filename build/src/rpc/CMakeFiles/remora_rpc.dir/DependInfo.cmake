@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/hybrid1.cc" "src/rpc/CMakeFiles/remora_rpc.dir/hybrid1.cc.o" "gcc" "src/rpc/CMakeFiles/remora_rpc.dir/hybrid1.cc.o.d"
+  "/root/repo/src/rpc/local_rpc.cc" "src/rpc/CMakeFiles/remora_rpc.dir/local_rpc.cc.o" "gcc" "src/rpc/CMakeFiles/remora_rpc.dir/local_rpc.cc.o.d"
+  "/root/repo/src/rpc/marshal.cc" "src/rpc/CMakeFiles/remora_rpc.dir/marshal.cc.o" "gcc" "src/rpc/CMakeFiles/remora_rpc.dir/marshal.cc.o.d"
+  "/root/repo/src/rpc/transport.cc" "src/rpc/CMakeFiles/remora_rpc.dir/transport.cc.o" "gcc" "src/rpc/CMakeFiles/remora_rpc.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rmem/CMakeFiles/remora_rmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/remora_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/remora_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/remora_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/remora_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remora_rpc.dir/hybrid1.cc.o"
+  "CMakeFiles/remora_rpc.dir/hybrid1.cc.o.d"
+  "CMakeFiles/remora_rpc.dir/local_rpc.cc.o"
+  "CMakeFiles/remora_rpc.dir/local_rpc.cc.o.d"
+  "CMakeFiles/remora_rpc.dir/marshal.cc.o"
+  "CMakeFiles/remora_rpc.dir/marshal.cc.o.d"
+  "CMakeFiles/remora_rpc.dir/transport.cc.o"
+  "CMakeFiles/remora_rpc.dir/transport.cc.o.d"
+  "libremora_rpc.a"
+  "libremora_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remora_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

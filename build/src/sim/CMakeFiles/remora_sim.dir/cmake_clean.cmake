@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remora_sim.dir/cpu.cc.o"
+  "CMakeFiles/remora_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/remora_sim.dir/logger.cc.o"
+  "CMakeFiles/remora_sim.dir/logger.cc.o.d"
+  "CMakeFiles/remora_sim.dir/random.cc.o"
+  "CMakeFiles/remora_sim.dir/random.cc.o.d"
+  "CMakeFiles/remora_sim.dir/simulator.cc.o"
+  "CMakeFiles/remora_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/remora_sim.dir/stats.cc.o"
+  "CMakeFiles/remora_sim.dir/stats.cc.o.d"
+  "libremora_sim.a"
+  "libremora_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remora_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remora_trace.dir/classifier.cc.o"
+  "CMakeFiles/remora_trace.dir/classifier.cc.o.d"
+  "CMakeFiles/remora_trace.dir/mix.cc.o"
+  "CMakeFiles/remora_trace.dir/mix.cc.o.d"
+  "CMakeFiles/remora_trace.dir/workload.cc.o"
+  "CMakeFiles/remora_trace.dir/workload.cc.o.d"
+  "libremora_trace.a"
+  "libremora_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remora_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remora_util.dir/bytes.cc.o"
+  "CMakeFiles/remora_util.dir/bytes.cc.o.d"
+  "CMakeFiles/remora_util.dir/crc.cc.o"
+  "CMakeFiles/remora_util.dir/crc.cc.o.d"
+  "CMakeFiles/remora_util.dir/panic.cc.o"
+  "CMakeFiles/remora_util.dir/panic.cc.o.d"
+  "CMakeFiles/remora_util.dir/strings.cc.o"
+  "CMakeFiles/remora_util.dir/strings.cc.o.d"
+  "libremora_util.a"
+  "libremora_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remora_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfs_edge.dir/test_dfs_edge.cc.o"
+  "CMakeFiles/test_dfs_edge.dir/test_dfs_edge.cc.o.d"
+  "test_dfs_edge"
+  "test_dfs_edge.pdb"
+  "test_dfs_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfs_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

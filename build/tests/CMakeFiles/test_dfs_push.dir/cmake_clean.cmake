@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfs_push.dir/test_dfs_push.cc.o"
+  "CMakeFiles/test_dfs_push.dir/test_dfs_push.cc.o.d"
+  "test_dfs_push"
+  "test_dfs_push.pdb"
+  "test_dfs_push[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfs_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfs_store.dir/test_dfs_store.cc.o"
+  "CMakeFiles/test_dfs_store.dir/test_dfs_store.cc.o.d"
+  "test_dfs_store"
+  "test_dfs_store.pdb"
+  "test_dfs_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfs_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

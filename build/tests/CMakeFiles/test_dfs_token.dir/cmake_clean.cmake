@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfs_token.dir/test_dfs_token.cc.o"
+  "CMakeFiles/test_dfs_token.dir/test_dfs_token.cc.o.d"
+  "test_dfs_token"
+  "test_dfs_token.pdb"
+  "test_dfs_token[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfs_token.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmem_engine.dir/test_rmem_engine.cc.o"
+  "CMakeFiles/test_rmem_engine.dir/test_rmem_engine.cc.o.d"
+  "test_rmem_engine"
+  "test_rmem_engine.pdb"
+  "test_rmem_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmem_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

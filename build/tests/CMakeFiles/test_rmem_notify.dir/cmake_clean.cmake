@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmem_notify.dir/test_rmem_notify.cc.o"
+  "CMakeFiles/test_rmem_notify.dir/test_rmem_notify.cc.o.d"
+  "test_rmem_notify"
+  "test_rmem_notify.pdb"
+  "test_rmem_notify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmem_notify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

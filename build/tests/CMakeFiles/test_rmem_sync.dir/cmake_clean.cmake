@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmem_sync.dir/test_rmem_sync.cc.o"
+  "CMakeFiles/test_rmem_sync.dir/test_rmem_sync.cc.o.d"
+  "test_rmem_sync"
+  "test_rmem_sync.pdb"
+  "test_rmem_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmem_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmem_wire.dir/test_rmem_wire.cc.o"
+  "CMakeFiles/test_rmem_wire.dir/test_rmem_wire.cc.o.d"
+  "test_rmem_wire"
+  "test_rmem_wire.pdb"
+  "test_rmem_wire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmem_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sim_stats_random.cc" "tests/CMakeFiles/test_sim_stats_random.dir/test_sim_stats_random.cc.o" "gcc" "tests/CMakeFiles/test_sim_stats_random.dir/test_sim_stats_random.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/remora_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/remora_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/names/CMakeFiles/remora_names.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/remora_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmem/CMakeFiles/remora_rmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/remora_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/remora_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/remora_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/remora_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_stats_random.dir/test_sim_stats_random.cc.o"
+  "CMakeFiles/test_sim_stats_random.dir/test_sim_stats_random.cc.o.d"
+  "test_sim_stats_random"
+  "test_sim_stats_random.pdb"
+  "test_sim_stats_random[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_stats_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
