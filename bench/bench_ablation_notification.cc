@@ -134,6 +134,7 @@ main()
     util::TextTable table({"Read size", "Poll lat (us)", "Notify lat (us)",
                            "Poll CPU (us)", "Notify CPU (us)",
                            "Notify premium (us)"});
+    bench::BenchReport report("ablation_notification");
     for (uint32_t bytes : {40u, 1024u, 8192u}) {
         Sample p{}, n{};
         for (int i = 0; i < kIters; ++i) {
@@ -152,9 +153,18 @@ main()
                       bench::fmt(n.latencyUs), bench::fmt(p.clientCpuUs),
                       bench::fmt(n.clientCpuUs),
                       bench::fmt(n.latencyUs - p.latencyUs)});
+        std::string key = "read_" + std::to_string(bytes) + "b";
+        report.metric(key + ".poll.latency_us", p.latencyUs, "us");
+        report.metric(key + ".notify.latency_us", n.latencyUs, "us");
+        report.metric(key + ".poll.client_cpu_us", p.clientCpuUs, "us");
+        report.metric(key + ".notify.client_cpu_us", n.clientCpuUs, "us");
+        report.metric(key + ".notify_premium_us",
+                      n.latencyUs - p.latencyUs, "us", 260);
+        report.check(key + "_notify_slower", n.latencyUs > p.latencyUs);
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("Shape check: the notification premium tracks Table 2's "
                 "260 us overhead at every size.\n");
+    report.write();
     return 0;
 }

@@ -113,5 +113,15 @@ main()
                 crossover);
     std::printf("Shape check: crossover in [5, 9]: %s\n",
                 (crossover >= 5 && crossover <= 9) ? "yes" : "NO");
+
+    bench::BenchReport report("ablation_probe_policy");
+    report.metric("lookup_cached_us", cachedUs, "us");
+    report.metric("lookup_uncached_us", uncachedUs, "us");
+    report.metric("lookup_control_us", ctUs, "us");
+    report.metric("probe_marginal_us", probeUnitUs, "us");
+    report.metric("control_premium_us", ctExtraUs, "us");
+    report.metric("crossover_collisions", crossover, "collisions", 7);
+    report.check("crossover_in_5_to_9", crossover >= 5 && crossover <= 9);
+    report.write();
     return 0;
 }

@@ -186,5 +186,24 @@ main()
     std::printf("  eager push makes reads free of server load and wire "
                 "traffic: %s\n",
                 (push.serverUs == 0 && push.cells == 0) ? "yes" : "NO");
+
+    bench::BenchReport report("ablation_schemes");
+    report.metric("push.read_latency_us", push.latencyUs, "us");
+    report.metric("push.server_cpu_us", push.serverUs, "us");
+    report.metric("push.cells_per_read", push.cells, "cells");
+    report.metric("pull.read_latency_us", pull.latencyUs, "us");
+    report.metric("pull.server_cpu_us", pull.serverUs, "us");
+    report.metric("pull.cells_per_read", pull.cells, "cells");
+    report.metric("hybrid.read_latency_us", hybrid.latencyUs, "us");
+    report.metric("hybrid.server_cpu_us", hybrid.serverUs, "us");
+    report.metric("hybrid.cells_per_read", hybrid.cells, "cells");
+    report.metric("eager.pushes", static_cast<double>(pushCount), "pushes");
+    report.metric("eager.cells", pushCells, "cells");
+    report.check("latency_push_lt_pull_lt_hybrid",
+                 push.latencyUs < pull.latencyUs &&
+                     pull.latencyUs < hybrid.latencyUs);
+    report.check("push_reads_free",
+                 push.serverUs == 0 && push.cells == 0);
+    report.write();
     return 0;
 }

@@ -124,5 +124,21 @@ main()
                 (sw.readUs > none.readUs * 2.0 && sw.mbps < none.mbps / 2)
                     ? "yes"
                     : "NO");
+
+    bench::BenchReport report("ablation_security");
+    report.metric("none.write_us", none.writeUs, "us");
+    report.metric("none.read_us", none.readUs, "us");
+    report.metric("none.throughput_mbps", none.mbps, "Mb/s");
+    report.metric("hardware.write_us", hw.writeUs, "us");
+    report.metric("hardware.read_us", hw.readUs, "us");
+    report.metric("hardware.throughput_mbps", hw.mbps, "Mb/s");
+    report.metric("software.write_us", sw.writeUs, "us");
+    report.metric("software.read_us", sw.readUs, "us");
+    report.metric("software.throughput_mbps", sw.mbps, "Mb/s");
+    report.check("hardware_lt_15pct_latency",
+                 hw.readUs < none.readUs * 1.15);
+    report.check("software_inadequate",
+                 sw.readUs > none.readUs * 2.0 && sw.mbps < none.mbps / 2);
+    report.write();
     return 0;
 }

@@ -92,6 +92,11 @@ main()
     table.addRow({"direct (the paper's testbed)", bench::fmt(direct.writeUs),
                   bench::fmt(direct.readUs), bench::fmt(direct.casUs)});
 
+    bench::BenchReport report("ablation_switch");
+    report.metric("direct.write_us", direct.writeUs, "us");
+    report.metric("direct.read_us", direct.readUs, "us");
+    report.metric("direct.cas_us", direct.casUs, "us");
+
     double worstReadPenalty = 0;
     for (double fabricUs : {1.0, 2.0, 5.0, 10.0}) {
         Numbers sw = measure(true, sim::usec(fabricUs));
@@ -104,12 +109,23 @@ main()
             worstReadPenalty =
                 std::max(worstReadPenalty, sw.readUs - direct.readUs);
         }
+        std::string key =
+            "switched_" + std::to_string(static_cast<int>(fabricUs)) + "us";
+        report.metric(key + ".write_us", sw.writeUs, "us");
+        report.metric(key + ".read_us", sw.readUs, "us");
+        report.metric(key + ".cas_us", sw.casUs, "us");
     }
     std::printf("%s\n", table.render().c_str());
 
     std::printf("Shape check: a fast fabric (<=2 us) stays a modest "
                 "fraction of the op (<30%% on reads): %s\n",
                 worstReadPenalty < 0.3 * direct.readUs ? "yes" : "NO");
+
+    report.metric("worst_read_penalty_us_fast_fabric", worstReadPenalty,
+                  "us");
+    report.check("fast_fabric_lt_30pct_read",
+                 worstReadPenalty < 0.3 * direct.readUs);
+    report.write();
     std::printf("(store-and-forward adds one cell serialization plus "
                 "propagation per hop, and reads cross the fabric twice:\n"
                 " the floor is ~10 us round-trip regardless of fabric "

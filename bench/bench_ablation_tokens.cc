@@ -73,6 +73,8 @@ main()
     bench::banner("Ablation A8: token coherence — CAS acquire, "
                   "control-transfer revocation");
 
+    bench::BenchReport report("ablation_tokens");
+
     // Part 1: the three acquisition paths.
     {
         Harness h;
@@ -105,6 +107,13 @@ main()
         table.addRow({"contended", bench::fmt(contendedUs),
                       "revoke (control transfer) + retry CAS"});
         std::printf("%s\n", table.render().c_str());
+
+        report.metric("acquire.cached_us", cachedUs, "us");
+        report.metric("acquire.uncontended_us", uncontendedUs, "us");
+        report.metric("acquire.contended_us", contendedUs, "us");
+        report.check("cached_lt_uncontended_lt_contended",
+                     cachedUs < uncontendedUs &&
+                         uncontendedUs < contendedUs);
     }
 
     // Part 2: sharing-pattern replay.
@@ -161,6 +170,13 @@ main()
         std::printf("Shape check: control transfer for coherence is rare "
                     "(<10%% of acquisitions): %s\n",
                     ctPct < 10.0 ? "yes" : "NO");
+
+        report.metric("replay.acquisitions",
+                      static_cast<double>(acquisitions), "ops");
+        report.metric("replay.local_hit_pct", localPct, "%");
+        report.metric("replay.control_transfer_pct", ctPct, "%");
+        report.check("control_transfer_rare", ctPct < 10.0);
     }
+    report.write();
     return 0;
 }

@@ -52,6 +52,7 @@ main()
                            "RPC load (ms)"});
 
     auto &cpu = h.base.cluster.nodeB.cpu();
+    bench::BenchReport report("ablation_transport");
     bool latencyOrdered = true;
     bool loadOrdered = true;
 
@@ -75,6 +76,13 @@ main()
         table.addRow({op.label, bench::fmt(lat[0], 3), bench::fmt(lat[1], 3),
                       bench::fmt(lat[2], 3), bench::fmt(load[0], 3),
                       bench::fmt(load[1], 3), bench::fmt(load[2], 3)});
+        std::string key = op.label;
+        report.metric(key + ".dx.latency_ms", lat[0], "ms");
+        report.metric(key + ".hy.latency_ms", lat[1], "ms");
+        report.metric(key + ".rpc.latency_ms", lat[2], "ms");
+        report.metric(key + ".dx.server_load_ms", load[0], "ms");
+        report.metric(key + ".hy.server_load_ms", load[1], "ms");
+        report.metric(key + ".rpc.server_load_ms", load[2], "ms");
     }
     std::printf("%s\n", table.render().c_str());
 
@@ -83,5 +91,9 @@ main()
                 latencyOrdered ? "yes" : "NO");
     std::printf("  server load ordering DX < HY < RPC on every op: %s\n",
                 loadOrdered ? "yes" : "NO");
+
+    report.check("latency_dx_lt_hy_lt_rpc", latencyOrdered);
+    report.check("load_dx_lt_hy_lt_rpc", loadOrdered);
+    report.write();
     return 0;
 }

@@ -107,10 +107,17 @@ main()
     double wHy = 0, wDx = 0, wSum = 0;
     bool dxAlwaysLighter = true;
     bool dxHasNoControl = true;
+    bench::BenchReport report("fig3_server_load");
 
     for (const bench::FigureOp &op : bench::figureOps()) {
         Breakdown hy = measure(h, h.hy, op, kIters);
         Breakdown dx = measure(h, h.dx, op, kIters);
+        report.metric(std::string(op.label) + ".hy.total_ms", hy.total(),
+                      "ms");
+        report.metric(std::string(op.label) + ".hy.control_ms", hy.controlMs,
+                      "ms");
+        report.metric(std::string(op.label) + ".dx.total_ms", dx.total(),
+                      "ms");
 
         table.addRow({op.label, "HY", bench::fmt(hy.dataRecvMs, 3),
                       bench::fmt(hy.controlMs, 3), bench::fmt(hy.procMs, 3),
@@ -145,5 +152,15 @@ main()
                 avgHy, avgDx, avgDx / avgHy);
     std::printf("  paper: \"less than half the server load\": %s\n",
                 (avgDx / avgHy) < 0.5 ? "yes" : "NO");
+
+    report.metric("mix_weighted.hy_ms_per_op", avgHy, "ms");
+    report.metric("mix_weighted.dx_ms_per_op", avgDx, "ms");
+    report.metric("mix_weighted.dx_over_hy", avgDx / avgHy, "x");
+    report.check("dx_lighter_on_every_op", dxAlwaysLighter);
+    report.check("dx_no_control_or_proc", dxHasNoControl);
+    report.check("dx_less_than_half_hy_load", (avgDx / avgHy) < 0.5);
+    report.note("per-op server CPU split into the paper's four "
+                "components; average weighted by the Table 1a mix");
+    report.write();
     return 0;
 }

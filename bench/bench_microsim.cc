@@ -11,6 +11,9 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
 #include "net/aal5.h"
 #include "rmem/protocol.h"
 #include "rpc/marshal.h"
@@ -136,4 +139,33 @@ BENCHMARK(BM_SimulatedRemoteWrite);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Like BENCHMARK_MAIN(), but defaults --benchmark_out to the repo's
+ * machine-readable report name so this bench emits BENCH_microsim.json
+ * alongside its console table (explicit flags still win).
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    bool hasOut = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0) {
+            hasOut = true;
+        }
+    }
+    static char outFlag[] = "--benchmark_out=BENCH_microsim.json";
+    static char fmtFlag[] = "--benchmark_out_format=json";
+    if (!hasOut) {
+        args.push_back(outFlag);
+        args.push_back(fmtFlag);
+    }
+    int ac = static_cast<int>(args.size());
+    benchmark::Initialize(&ac, args.data());
+    if (benchmark::ReportUnrecognizedArguments(ac, args.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -211,6 +211,7 @@ main()
                            "DX ops/s", "DX util", "DX lat (ms)",
                            "DX/HY thr"});
 
+    bench::BenchReport report("scaling_clients");
     double hyKnee = 0, dxAt16 = 0, hyAt16 = 0;
     for (size_t n : {1, 2, 4, 8, 16, 24}) {
         ClusterRun hy = runScheme(n, false);
@@ -229,6 +230,13 @@ main()
                       bench::fmt(dx.serverUtil, 2),
                       bench::fmt(dx.meanLatencyMs, 2),
                       bench::fmt(dx.opsPerSec / hy.opsPerSec, 2)});
+        std::string key = "n" + std::to_string(n);
+        report.metric(key + ".hy.ops_per_sec", hy.opsPerSec, "ops/s");
+        report.metric(key + ".hy.server_util", hy.serverUtil, "frac");
+        report.metric(key + ".hy.mean_latency_ms", hy.meanLatencyMs, "ms");
+        report.metric(key + ".dx.ops_per_sec", dx.opsPerSec, "ops/s");
+        report.metric(key + ".dx.server_util", dx.serverUtil, "frac");
+        report.metric(key + ".dx.mean_latency_ms", dx.meanLatencyMs, "ms");
     }
     std::printf("%s\n", table.render().c_str());
 
@@ -237,5 +245,10 @@ main()
                 hyKnee);
     std::printf("  at N=16, DX sustains %.1fx HY's throughput: %s\n",
                 dxAt16 / hyAt16, dxAt16 > 1.5 * hyAt16 ? "yes" : "NO");
+
+    report.metric("hy_saturation_knee_clients", hyKnee, "clients");
+    report.metric("dx_over_hy_throughput_at_16", dxAt16 / hyAt16, "x");
+    report.check("dx_gt_1.5x_hy_at_16", dxAt16 > 1.5 * hyAt16);
+    report.write();
     return 0;
 }

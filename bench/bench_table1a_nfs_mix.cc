@@ -32,6 +32,7 @@ main()
 
     util::TextTable table({"Activity", "Paper count", "Paper %",
                            "Sampled %", "Deviation"});
+    bench::BenchReport report("table1a_nfs_mix");
     double maxDev = 0;
     for (const trace::MixRow &row : trace::paperMix()) {
         size_t idx = static_cast<size_t>(row.cls);
@@ -44,6 +45,9 @@ main()
                       util::formatCount(row.count), bench::fmt(paperPct),
                       bench::fmt(samplePct),
                       bench::deviation(samplePct, paperPct)});
+        report.metric(std::string(trace::opClassName(row.cls)) +
+                          ".sampled_pct",
+                      samplePct, "%", paperPct);
     }
     table.addSeparator();
     table.addRow({"Total", util::formatCount(trace::paperMixTotal()), "100",
@@ -61,9 +65,17 @@ main()
                 "(max deviation %.3f points over %llu draws)\n",
                 maxDev < 0.2 ? "yes" : "NO", maxDev,
                 static_cast<unsigned long long>(kSampleOps));
+    double dataPct = 100.0 * static_cast<double>(dataMotivated) /
+                     static_cast<double>(trace::paperMixTotal());
     std::printf("  calls whose goal is pure data/metadata movement: "
                 "%.1f%% (everything except the null ping)\n",
-                100.0 * static_cast<double>(dataMotivated) /
-                    static_cast<double>(trace::paperMixTotal()));
+                dataPct);
+
+    report.metric("max_deviation_points", maxDev, "pct-points");
+    report.metric("data_motivated_pct", dataPct, "%");
+    report.check("sampled_mix_within_0.2_points", maxDev < 0.2);
+    report.note("sampled " + std::to_string(kSampleOps) +
+                " draws from the published per-class counts");
+    report.write();
     return 0;
 }

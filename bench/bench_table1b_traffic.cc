@@ -69,5 +69,17 @@ main()
     std::printf("  eliminating RPC removes a non-trivial traffic "
                 "fraction (>5%%): %s\n",
                 controlShare > 5.0 ? "yes" : "NO");
+
+    bench::BenchReport report("table1b_traffic");
+    report.metric("write.control_over_data", writeRatio, "x", 0.01);
+    report.metric("overall.control_over_data", overall, "x", 0.14);
+    report.metric("overall.control_share_pct", controlShare, "%", 12.0);
+    report.metric("overall.control_mb",
+                  static_cast<double>(total.controlBytes) / 1e6, "MB");
+    report.metric("overall.data_mb",
+                  static_cast<double>(total.dataBytes) / 1e6, "MB");
+    report.check("write_least_control_heavy", writeRatio <= overall);
+    report.check("control_share_gt_5pct", controlShare > 5.0);
+    report.write();
     return 0;
 }

@@ -15,6 +15,7 @@
  * completion: for writes, data deposited in remote memory; for reads
  * and CAS, result deposited in local memory.
  */
+#include <cmath>
 #include <cstdio>
 
 #include "bench_common.h"
@@ -178,5 +179,53 @@ main()
                 " remote write vs 2us local: %.0fx\n",
                 (readUs > casUs && casUs > writeUs) ? "yes" : "NO",
                 writeUs / 2.0);
+
+    // Phase breakdown from the engine's own op metrics: the paper's
+    // latency decomposition into controller / wire / software time.
+    const rmem::EngineMetrics &em = h.cluster.engineA.metrics();
+    std::printf("\nEngine phase decomposition (per successful op, mean):\n");
+    auto phases = [](const char *label, const rmem::OpPhaseStats &op) {
+        std::printf("  %-6s total %6.1f us = software %6.1f + wire %5.1f "
+                    "+ controller %5.1f (n=%llu)\n",
+                    label, op.totalUs.mean(), op.softwareUs.mean(),
+                    op.wireUs.mean(), op.controllerUs.mean(),
+                    static_cast<unsigned long long>(op.totalUs.count()));
+    };
+    phases("write", em.write);
+    phases("read", em.read);
+    phases("cas", em.cas);
+
+    bench::BenchReport report("table2_rmem_ops");
+    report.metric("read.latency_us", readUs, "us", 45);
+    report.metric("write.latency_us", writeUs, "us", 30);
+    report.metric("cas.latency_us", casUs, "us", 38);
+    report.metric("block_write.throughput_mbps", mbps, "Mb/s", 35.4);
+    report.metric("notification.overhead_us", notifyUs, "us", 260);
+    auto phaseMetrics = [&report](const std::string &key,
+                                  const rmem::OpPhaseStats &op) {
+        report.metric(key + ".phase.total_us", op.totalUs.mean(), "us");
+        report.metric(key + ".phase.software_us", op.softwareUs.mean(),
+                      "us");
+        report.metric(key + ".phase.wire_us", op.wireUs.mean(), "us");
+        report.metric(key + ".phase.controller_us", op.controllerUs.mean(),
+                      "us");
+        if (op.latencyUs.total() > 0) {
+            report.metric(key + ".phase.p99_us", op.latencyUs.quantile(0.99),
+                          "us");
+        }
+    };
+    phaseMetrics("write", em.write);
+    phaseMetrics("read", em.read);
+    phaseMetrics("cas", em.cas);
+    report.check("read_gt_cas_gt_write",
+                 readUs > casUs && casUs > writeUs);
+    report.check("phases_sum_to_total",
+                 std::abs(em.read.softwareUs.mean() +
+                          em.read.wireUs.mean() +
+                          em.read.controllerUs.mean() -
+                          em.read.totalUs.mean()) < 0.5);
+    report.note("two directly-connected nodes, idle cluster, 40-byte "
+                "single-cell operations, 4KB streaming block writes");
+    report.write();
     return 0;
 }

@@ -141,5 +141,18 @@ main()
                     h.clerkB.stats().remoteReads.value()),
                 static_cast<unsigned long long>(
                     h.clerkB.stats().controlTransfers.value()));
+
+    bench::BenchReport report("table3_nameserver");
+    report.metric("export.latency_us", r.exportUs, "us", 665);
+    report.metric("import_cached.latency_us", r.importCachedUs, "us", 196);
+    report.metric("import_uncached.latency_us", r.importUncachedUs, "us",
+                  264);
+    report.metric("revoke.latency_us", r.revokeUs, "us", 307);
+    report.metric("lookup_notify.latency_us", r.notifyLookupUs, "us", 524);
+    report.metric("uncached_minus_cached_us", delta, "us", 68);
+    report.check("uncached_slower_than_cached", delta > 0);
+    report.check("notify_lookup_slowest_lookup",
+                 r.notifyLookupUs > r.importUncachedUs);
+    report.write();
     return 0;
 }

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+#
+# Tier-1 verification: configure, build, and run the full test suite.
+#
+#   scripts/check.sh            # RelWithDebInfo build + ctest
+#   scripts/check.sh --asan     # additionally build+test with ASan/UBSan
+#
+# The sanitizer pass uses a separate build tree (build-asan/) so it
+# never perturbs the primary build directory.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+    local dir="$1"
+    shift
+    cmake -B "${dir}" -S . "$@"
+    cmake --build "${dir}" -j "${JOBS}"
+    (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+}
+
+# Server loops are eternal coroutines by design: their frames are still
+# suspended (awaiting the next request) when a test process exits, and
+# LeakSanitizer reports each parked frame. Everything else ASan/UBSan
+# can catch stays enabled.
+export ASAN_OPTIONS="detect_leaks=0${ASAN_OPTIONS:+:${ASAN_OPTIONS}}"
+
+echo "== tier-1: primary build and tests =="
+run_suite build
+
+if [[ "${1:-}" == "--asan" ]]; then
+    echo
+    echo "== sanitizer pass: ASan + UBSan =="
+    run_suite build-asan -DREMORA_SANITIZE=ON -DREMORA_BUILD_BENCH=OFF
+fi
+
+echo
+echo "check.sh: all green"

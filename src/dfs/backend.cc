@@ -189,7 +189,7 @@ DxBackend::getattr(FileHandle fh)
 }
 
 sim::Task<util::Result<LookupReply>>
-DxBackend::lookup(FileHandle dir, const std::string &name)
+DxBackend::lookup(FileHandle dir, std::string name)
 {
     uint32_t bucket = nameBucket(dir.key(), name, geo_.nameBuckets);
     auto bytes = co_await fetch(areas_.name,
@@ -432,7 +432,7 @@ HyBackend::getattr(FileHandle fh)
 }
 
 sim::Task<util::Result<LookupReply>>
-HyBackend::lookup(FileHandle dir, const std::string &name)
+HyBackend::lookup(FileHandle dir, std::string name)
 {
     auto reply = co_await roundTrip(encodeLookupCall(dir, name));
     if (!reply.ok()) {
@@ -517,7 +517,7 @@ RpcBackend::getattr(FileHandle fh)
 }
 
 sim::Task<util::Result<LookupReply>>
-RpcBackend::lookup(FileHandle dir, const std::string &name)
+RpcBackend::lookup(FileHandle dir, std::string name)
 {
     auto reply = co_await roundTrip(encodeLookupCall(dir, name));
     if (!reply.ok()) {

@@ -55,7 +55,7 @@ class FileServiceBackend
 
     /** Resolve @p name under @p dir. */
     virtual sim::Task<util::Result<LookupReply>> lookup(
-        FileHandle dir, const std::string &name) = 0;
+        FileHandle dir, std::string name) = 0;
 
     /** Read @p count bytes at @p offset. */
     virtual sim::Task<util::Result<std::vector<uint8_t>>> read(
@@ -101,7 +101,7 @@ class DxBackend : public FileServiceBackend
     sim::Task<util::Status> null() override;
     sim::Task<util::Result<FileAttr>> getattr(FileHandle fh) override;
     sim::Task<util::Result<LookupReply>> lookup(
-        FileHandle dir, const std::string &name) override;
+        FileHandle dir, std::string name) override;
     sim::Task<util::Result<std::vector<uint8_t>>> read(
         FileHandle fh, uint64_t offset, uint32_t count) override;
     sim::Task<util::Status> write(FileHandle fh, uint64_t offset,
@@ -146,7 +146,7 @@ class HyBackend : public FileServiceBackend
     sim::Task<util::Status> null() override;
     sim::Task<util::Result<FileAttr>> getattr(FileHandle fh) override;
     sim::Task<util::Result<LookupReply>> lookup(
-        FileHandle dir, const std::string &name) override;
+        FileHandle dir, std::string name) override;
     sim::Task<util::Result<std::vector<uint8_t>>> read(
         FileHandle fh, uint64_t offset, uint32_t count) override;
     sim::Task<util::Status> write(FileHandle fh, uint64_t offset,
@@ -180,7 +180,7 @@ class RpcBackend : public FileServiceBackend
     sim::Task<util::Status> null() override;
     sim::Task<util::Result<FileAttr>> getattr(FileHandle fh) override;
     sim::Task<util::Result<LookupReply>> lookup(
-        FileHandle dir, const std::string &name) override;
+        FileHandle dir, std::string name) override;
     sim::Task<util::Result<std::vector<uint8_t>>> read(
         FileHandle fh, uint64_t offset, uint32_t count) override;
     sim::Task<util::Status> write(FileHandle fh, uint64_t offset,

@@ -4,6 +4,19 @@
 
 namespace remora::dfs {
 
+namespace {
+
+/** Node scope for traces: "client.cpu" belongs to node "client". */
+std::string_view
+nodeOfCpu(const std::string &cpuName)
+{
+    size_t dot = cpuName.find('.');
+    return std::string_view(cpuName).substr(
+        0, dot == std::string::npos ? cpuName.size() : dot);
+}
+
+} // namespace
+
 ServerClerk::ServerClerk(sim::CpuResource &cpu, FileServiceBackend &backend,
                          const ClerkParams &params)
     : cpu_(cpu), backend_(backend), params_(params),
@@ -26,14 +39,35 @@ ServerClerk::leave()
     }
 }
 
+obs::SpanId
+ServerClerk::beginOp(const char *op)
+{
+    if (!obs::TraceRecorder::on()) {
+        return obs::kNoSpan;
+    }
+    return obs::TraceRecorder::instance().beginSpan(nodeOfCpu(cpu_.name()),
+                                                    "dfs", op);
+}
+
+void
+ServerClerk::registerStats(obs::MetricRegistry &reg,
+                           const std::string &prefix) const
+{
+    reg.add(prefix + ".requests", stats_.requests);
+    reg.add(prefix + ".local_hits", stats_.localHits);
+    reg.add(prefix + ".backend_calls", stats_.backendCalls);
+}
+
 sim::Task<util::Status>
 ServerClerk::null()
 {
     stats_.requests.inc();
+    obs::SpanId span = beginOp("clerk_null");
     co_await enter();
     stats_.backendCalls.inc();
     util::Status s = co_await backend_.null();
     co_await leave();
+    obs::TraceRecorder::instance().endSpan(span);
     co_return s;
 }
 
@@ -41,12 +75,14 @@ sim::Task<util::Result<FileAttr>>
 ServerClerk::getattr(FileHandle fh)
 {
     stats_.requests.inc();
+    obs::SpanId span = beginOp("clerk_getattr");
     co_await enter();
     if (params_.enableLocalCache) {
         if (auto it = attrCache_.find(fh.key()); it != attrCache_.end()) {
             stats_.localHits.inc();
             FileAttr attr = it->second;
             co_await leave();
+            obs::TraceRecorder::instance().endSpan(span);
             co_return attr;
         }
     }
@@ -56,13 +92,15 @@ ServerClerk::getattr(FileHandle fh)
         attrCache_[fh.key()] = result.value();
     }
     co_await leave();
+    obs::TraceRecorder::instance().endSpan(span);
     co_return result;
 }
 
 sim::Task<util::Result<LookupReply>>
-ServerClerk::lookup(FileHandle dir, const std::string &name)
+ServerClerk::lookup(FileHandle dir, std::string name)
 {
     stats_.requests.inc();
+    obs::SpanId span = beginOp("clerk_lookup");
     co_await enter();
     auto key = std::make_pair(dir.key(), name);
     if (params_.enableLocalCache) {
@@ -70,6 +108,7 @@ ServerClerk::lookup(FileHandle dir, const std::string &name)
             stats_.localHits.inc();
             LookupReply reply = it->second;
             co_await leave();
+            obs::TraceRecorder::instance().endSpan(span);
             co_return reply;
         }
     }
@@ -80,6 +119,7 @@ ServerClerk::lookup(FileHandle dir, const std::string &name)
         attrCache_[result.value().fh.key()] = result.value().attr;
     }
     co_await leave();
+    obs::TraceRecorder::instance().endSpan(span);
     co_return result;
 }
 
@@ -87,6 +127,7 @@ sim::Task<util::Result<std::vector<uint8_t>>>
 ServerClerk::read(FileHandle fh, uint64_t offset, uint32_t count)
 {
     stats_.requests.inc();
+    obs::SpanId span = beginOp("clerk_read");
     co_await enter();
 
     std::vector<uint8_t> out;
@@ -118,6 +159,7 @@ ServerClerk::read(FileHandle fh, uint64_t offset, uint32_t count)
     if (allLocal) {
         stats_.localHits.inc();
         co_await leave();
+        obs::TraceRecorder::instance().endSpan(span);
         co_return out;
     }
 
@@ -136,6 +178,7 @@ ServerClerk::read(FileHandle fh, uint64_t offset, uint32_t count)
         }
     }
     co_await leave();
+    obs::TraceRecorder::instance().endSpan(span);
     co_return result;
 }
 
@@ -143,6 +186,7 @@ sim::Task<util::Status>
 ServerClerk::write(FileHandle fh, uint64_t offset, std::vector<uint8_t> data)
 {
     stats_.requests.inc();
+    obs::SpanId span = beginOp("clerk_write");
     co_await enter();
     if (params_.enableLocalCache && offset % kBlockBytes == 0) {
         for (uint64_t p = 0; p < data.size(); p += kBlockBytes) {
@@ -157,6 +201,7 @@ ServerClerk::write(FileHandle fh, uint64_t offset, std::vector<uint8_t> data)
     stats_.backendCalls.inc();
     util::Status s = co_await backend_.write(fh, offset, std::move(data));
     co_await leave();
+    obs::TraceRecorder::instance().endSpan(span);
     co_return s;
 }
 
@@ -164,12 +209,14 @@ sim::Task<util::Result<std::string>>
 ServerClerk::readlink(FileHandle fh)
 {
     stats_.requests.inc();
+    obs::SpanId span = beginOp("clerk_readlink");
     co_await enter();
     if (params_.enableLocalCache) {
         if (auto it = linkCache_.find(fh.key()); it != linkCache_.end()) {
             stats_.localHits.inc();
             std::string target = it->second;
             co_await leave();
+            obs::TraceRecorder::instance().endSpan(span);
             co_return target;
         }
     }
@@ -179,6 +226,7 @@ ServerClerk::readlink(FileHandle fh)
         linkCache_[fh.key()] = result.value();
     }
     co_await leave();
+    obs::TraceRecorder::instance().endSpan(span);
     co_return result;
 }
 
@@ -186,12 +234,14 @@ sim::Task<util::Result<std::vector<DirEntry>>>
 ServerClerk::readdir(FileHandle fh, uint32_t maxBytes)
 {
     stats_.requests.inc();
+    obs::SpanId span = beginOp("clerk_readdir");
     co_await enter();
     if (params_.enableLocalCache) {
         if (auto it = dirCache_.find(fh.key()); it != dirCache_.end()) {
             stats_.localHits.inc();
             std::vector<DirEntry> entries = it->second;
             co_await leave();
+            obs::TraceRecorder::instance().endSpan(span);
             co_return entries;
         }
     }
@@ -201,6 +251,7 @@ ServerClerk::readdir(FileHandle fh, uint32_t maxBytes)
         dirCache_[fh.key()] = result.value();
     }
     co_await leave();
+    obs::TraceRecorder::instance().endSpan(span);
     co_return result;
 }
 
@@ -208,11 +259,13 @@ sim::Task<util::Result<FsStat>>
 ServerClerk::statfs()
 {
     stats_.requests.inc();
+    obs::SpanId span = beginOp("clerk_statfs");
     co_await enter();
     if (params_.enableLocalCache && statValid_) {
         stats_.localHits.inc();
         FsStat s = statCache_;
         co_await leave();
+        obs::TraceRecorder::instance().endSpan(span);
         co_return s;
     }
     stats_.backendCalls.inc();
@@ -222,6 +275,7 @@ ServerClerk::statfs()
         statValid_ = true;
     }
     co_await leave();
+    obs::TraceRecorder::instance().endSpan(span);
     co_return result;
 }
 

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "dfs/backend.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/local_rpc.h"
 #include "sim/stats.h"
 
@@ -64,7 +66,7 @@ class ServerClerk
 
     /** Resolve @p name under @p dir (name-lookup cache area). */
     sim::Task<util::Result<LookupReply>> lookup(FileHandle dir,
-                                                const std::string &name);
+                                                std::string name);
 
     /** Read file data (file-data cache area, block granular). */
     sim::Task<util::Result<std::vector<uint8_t>>> read(FileHandle fh,
@@ -94,6 +96,10 @@ class ServerClerk
     /** Counters. */
     const ClerkStats &stats() const { return stats_; }
 
+    /** Register clerk counters under "<prefix>.requests" etc. */
+    void registerStats(obs::MetricRegistry &reg,
+                       const std::string &prefix) const;
+
     /** The transfer backend in use. */
     FileServiceBackend &backend() { return backend_; }
 
@@ -103,6 +109,9 @@ class ServerClerk
 
     /** Charge the clerk->client local RPC return path. */
     sim::Task<void> leave();
+
+    /** Open a trace span for clerk op @p op (kNoSpan when off). */
+    obs::SpanId beginOp(const char *op);
 
     sim::CpuResource &cpu_;
     FileServiceBackend &backend_;

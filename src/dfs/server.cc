@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "sim/logger.h"
 #include "util/panic.h"
 
@@ -66,6 +67,18 @@ FileServer::start()
 }
 
 void
+FileServer::registerStats(obs::MetricRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.add(prefix + ".calls_served", stats_.callsServed);
+    reg.add(prefix + ".cache_inserts", stats_.cacheInserts);
+    reg.add(prefix + ".cache_evictions", stats_.cacheEvictions);
+    reg.add(prefix + ".dirty_blocks_applied", stats_.dirtyBlocksApplied);
+    reg.addGauge(prefix + ".pushes_issued",
+                 [this] { return static_cast<double>(pushes_); });
+}
+
+void
 FileServer::attachRpcTransport(rpc::RpcTransport &transport)
 {
     // One umbrella procedure; the body's own proc word dispatches.
@@ -86,6 +99,13 @@ FileServer::handleBody(net::NodeId src, std::vector<uint8_t> body)
     stats_.callsServed.inc();
     rpc::Unmarshal u(body);
     auto proc = static_cast<NfsProc>(u.getU32());
+    // Explicit span: the procedure body suspends on the CPU resource.
+    obs::SpanId span = obs::kNoSpan;
+    if (obs::TraceRecorder::on()) {
+        span = obs::TraceRecorder::instance().beginSpan(
+            engine_.node().name(), "dfs", nfsProcName(proc),
+            "from=" + std::to_string(src));
+    }
     auto &cpu = engine_.node().cpu();
 
     rpc::Marshal reply;
@@ -219,6 +239,7 @@ FileServer::handleBody(net::NodeId src, std::vector<uint8_t> body)
         break;
       }
     }
+    obs::TraceRecorder::instance().endSpan(span);
     co_return reply.take();
 }
 

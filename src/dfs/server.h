@@ -24,6 +24,7 @@
 #include "dfs/nfs_proto.h"
 #include "dfs/push_cache.h"
 #include "dfs/service_times.h"
+#include "obs/metrics.h"
 #include "rpc/hybrid1.h"
 #include "rpc/transport.h"
 #include "sim/stats.h"
@@ -165,6 +166,10 @@ class FileServer
 
     /** Counters. */
     const FileServerStats &stats() const { return stats_; }
+
+    /** Register server counters under "<prefix>.calls_served" etc. */
+    void registerStats(obs::MetricRegistry &reg,
+                       const std::string &prefix) const;
 
     /** The server node's engine. */
     rmem::RmemEngine &engine() { return engine_; }

@@ -28,4 +28,19 @@ Node::findProcess(Pid pid)
     return nullptr;
 }
 
+void
+Node::registerStats(obs::MetricRegistry &reg, const std::string &prefix) const
+{
+    const sim::CpuResource &cpu = cpu_;
+    reg.addGauge(prefix + ".cpu.busy_total_us",
+                 [&cpu] { return sim::toUsec(cpu.totalBusy()); });
+    for (int i = 0; i < static_cast<int>(sim::CpuCategory::kNumCategories);
+         ++i) {
+        auto cat = static_cast<sim::CpuCategory>(i);
+        reg.addGauge(prefix + ".cpu.busy_us." + sim::cpuCategoryName(cat),
+                     [&cpu, cat] { return sim::toUsec(cpu.busyIn(cat)); });
+    }
+    nic_.registerStats(reg, prefix + ".nic");
+}
+
 } // namespace remora::mem

@@ -18,6 +18,7 @@
 #include "mem/address_space.h"
 #include "mem/phys_mem.h"
 #include "net/host_interface.h"
+#include "obs/metrics.h"
 #include "sim/cpu.h"
 #include "sim/simulator.h"
 
@@ -105,6 +106,13 @@ class Node
 
     /** Owning simulator. */
     sim::Simulator &simulator() { return sim_; }
+
+    /**
+     * Register this node's CPU busy-time gauges (per category, in
+     * microseconds) and NIC counters under "<prefix>.cpu" / "<prefix>.nic".
+     */
+    void registerStats(obs::MetricRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     sim::Simulator &sim_;

@@ -89,7 +89,7 @@ NameClerk::addPeer(net::NodeId node)
 sim::Task<util::Result<rmem::ImportedSegment>>
 NameClerk::exportByName(mem::Process &owner, mem::Vaddr base, uint32_t size,
                         rmem::Rights rights, rmem::NotifyPolicy policy,
-                        const std::string &name)
+                        std::string name)
 {
     stats_.exportsServed.inc();
     if (name.size() > kMaxNameLen) {
@@ -133,7 +133,7 @@ NameClerk::exportByName(mem::Process &owner, mem::Vaddr base, uint32_t size,
 }
 
 sim::Task<util::Result<rmem::ImportedSegment>>
-NameClerk::import(const std::string &name, std::optional<net::NodeId> hint,
+NameClerk::import(std::string name, std::optional<net::NodeId> hint,
                   bool forceRemote, std::optional<ProbePolicy> policyOverride)
 {
     ProbePolicy policy = policyOverride.value_or(params_.policy);
@@ -196,7 +196,7 @@ NameClerk::import(const std::string &name, std::optional<net::NodeId> hint,
 }
 
 sim::Task<util::Status>
-NameClerk::revoke(const std::string &name)
+NameClerk::revoke(std::string name)
 {
     stats_.deletesServed.inc();
     auto &cpu = engine_.node().cpu();
@@ -364,7 +364,7 @@ NameClerk::localDelete(const std::string &name)
 // ----------------------------------------------------------------------
 
 sim::Task<util::Result<NameRecord>>
-NameClerk::resolveAt(net::NodeId node, const std::string &name,
+NameClerk::resolveAt(net::NodeId node, std::string name,
                      ProbePolicy policy)
 {
     switch (policy) {
@@ -390,7 +390,7 @@ NameClerk::resolveAt(net::NodeId node, const std::string &name,
 }
 
 sim::Task<util::Result<NameRecord>>
-NameClerk::probeRemote(net::NodeId node, const std::string &name,
+NameClerk::probeRemote(net::NodeId node, std::string name,
                        uint32_t maxProbes)
 {
     auto it = peers_.find(node);
@@ -437,7 +437,7 @@ NameClerk::probeRemote(net::NodeId node, const std::string &name,
 }
 
 sim::Task<util::Result<NameRecord>>
-NameClerk::controlTransferLookup(net::NodeId node, const std::string &name)
+NameClerk::controlTransferLookup(net::NodeId node, std::string name)
 {
     auto it = peers_.find(node);
     if (it == peers_.end()) {

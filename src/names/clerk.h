@@ -145,7 +145,7 @@ class NameClerk
     sim::Task<util::Result<rmem::ImportedSegment>> exportByName(
         mem::Process &owner, mem::Vaddr base, uint32_t size,
         rmem::Rights rights, rmem::NotifyPolicy policy,
-        const std::string &name);
+        std::string name);
 
     /**
      * Import @p name (LOOKUPNAME path): local registry, then import
@@ -162,7 +162,7 @@ class NameClerk
      *        application-dependent).
      */
     sim::Task<util::Result<rmem::ImportedSegment>> import(
-        const std::string &name, std::optional<net::NodeId> hint,
+        std::string name, std::optional<net::NodeId> hint,
         bool forceRemote = false,
         std::optional<ProbePolicy> policyOverride = std::nullopt);
 
@@ -170,7 +170,7 @@ class NameClerk
      * Delete @p name and revoke the segment (DELETENAME path). Deletion
      * is local-only: remote cached copies age out via refresh.
      */
-    sim::Task<util::Status> revoke(const std::string &name);
+    sim::Task<util::Status> revoke(std::string name);
 
     /**
      * One cache-refresh pass: re-read every cached import from its
@@ -202,17 +202,17 @@ class NameClerk
 
     /** Resolve remotely at @p node per @p policy. */
     sim::Task<util::Result<NameRecord>> resolveAt(net::NodeId node,
-                                                  const std::string &name,
+                                                  std::string name,
                                                   ProbePolicy policy);
 
     /** Probe @p node's registry with remote reads. */
     sim::Task<util::Result<NameRecord>> probeRemote(net::NodeId node,
-                                                    const std::string &name,
+                                                    std::string name,
                                                     uint32_t maxProbes);
 
     /** Ask @p node's clerk via remote write + notification. */
     sim::Task<util::Result<NameRecord>> controlTransferLookup(
-        net::NodeId node, const std::string &name);
+        net::NodeId node, std::string name);
 
     /** Serve one incoming control-transfer lookup request. */
     void onLookupRequest(const rmem::Notification &n);

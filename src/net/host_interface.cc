@@ -1,8 +1,22 @@
 #include "net/host_interface.h"
 
+#include "obs/trace.h"
 #include "util/panic.h"
 
 namespace remora::net {
+
+namespace {
+
+/** Node scope for traces: "nodeA.nic" belongs to node "nodeA". */
+std::string_view
+nodeOf(const std::string &nicName)
+{
+    size_t dot = nicName.find('.');
+    return std::string_view(nicName).substr(
+        0, dot == std::string::npos ? nicName.size() : dot);
+}
+
+} // namespace
 
 HostInterface::HostInterface(sim::Simulator &simulator,
                              const HostInterfaceParams &params,
@@ -70,11 +84,28 @@ HostInterface::acceptCell(const Cell &cell)
         interruptPending_ = true;
         sim_.schedule(params_.interruptLatency, [this] {
             interruptPending_ = false;
+            if (obs::TraceRecorder::on()) {
+                obs::TraceRecorder::instance().instant(
+                    nodeOf(name_), "net", "rx_irq",
+                    "fifo=" + std::to_string(rxFifo_.size()));
+            }
             if (rxInterrupt_) {
                 rxInterrupt_();
             }
         });
     }
+}
+
+void
+HostInterface::registerStats(obs::MetricRegistry &reg,
+                             const std::string &prefix) const
+{
+    reg.add(prefix + ".cells_tx", cellsTx_);
+    reg.add(prefix + ".cells_rx", cellsRx_);
+    reg.addGauge(prefix + ".rx_depth",
+                 [this] { return static_cast<double>(rxFifo_.size()); });
+    reg.addGauge(prefix + ".tx_depth",
+                 [this] { return static_cast<double>(txFifo_.size()); });
 }
 
 std::optional<Cell>

@@ -26,6 +26,7 @@
 
 #include "net/cell.h"
 #include "net/link.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
 
@@ -94,6 +95,19 @@ class HostInterface : public CellSink
 
     /** Total cells received. */
     uint64_t cellsRx() const { return cellsRx_.value(); }
+
+    /** The attached outgoing link; nullptr before attachTxLink(). */
+    Link *txLink() const { return txLink_; }
+
+    /** Delay from first RX cell to interrupt delivery. */
+    sim::Duration interruptLatency() const { return params_.interruptLatency; }
+
+    /**
+     * Register this adapter's counters and FIFO-depth gauges under
+     * "<prefix>.cells_tx" etc.
+     */
+    void registerStats(obs::MetricRegistry &reg,
+                       const std::string &prefix) const;
 
     /** Diagnostic name. */
     const std::string &name() const { return name_; }

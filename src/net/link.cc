@@ -46,6 +46,16 @@ Link::returnCredit(size_t n)
 }
 
 void
+Link::registerStats(obs::MetricRegistry &reg, const std::string &prefix) const
+{
+    reg.add(prefix + ".cells_sent", cellsSent_);
+    reg.addGauge(prefix + ".queue_depth",
+                 [this] { return static_cast<double>(queue_.size()); });
+    reg.addGauge(prefix + ".max_queue_depth",
+                 [this] { return static_cast<double>(maxQueue_); });
+}
+
+void
 Link::pump()
 {
     if (pumpScheduled_) {

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "net/cell.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
 
@@ -107,6 +108,12 @@ class Link
 
     /** Cells currently waiting for wire or credit. */
     size_t queueDepth() const { return queue_.size(); }
+
+    /**
+     * Register cell/queue metrics under "<prefix>.cells_sent" etc.
+     */
+    void registerStats(obs::MetricRegistry &reg,
+                       const std::string &prefix) const;
 
     /** Diagnostic name. */
     const std::string &name() const { return name_; }

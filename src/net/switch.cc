@@ -1,5 +1,6 @@
 #include "net/switch.h"
 
+#include "obs/trace.h"
 #include "util/panic.h"
 
 namespace remora::net {
@@ -57,7 +58,21 @@ Switch::forward(const Cell &cell, PortState &from)
     }
     Link *out = ports_[it->second]->output;
     forwarded_.inc();
+    if (obs::TraceRecorder::on()) {
+        obs::TraceRecorder::instance().instant(
+            name_, "net", "hop",
+            "dst=" + std::to_string(cell.vpi) +
+                " src=" + std::to_string(cell.vci));
+    }
     sim_.schedule(fabricLatency_, [out, cell] { out->send(cell); });
+}
+
+void
+Switch::registerStats(obs::MetricRegistry &reg,
+                      const std::string &prefix) const
+{
+    reg.add(prefix + ".cells_forwarded", forwarded_);
+    reg.add(prefix + ".route_misses", routeMisses_);
 }
 
 } // namespace remora::net

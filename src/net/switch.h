@@ -28,6 +28,7 @@
 
 #include "net/cell.h"
 #include "net/link.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
 
@@ -64,6 +65,10 @@ class Switch
 
     /** Cells that arrived with no route (counted, then dropped loudly). */
     uint64_t routeMisses() const { return routeMisses_.value(); }
+
+    /** Register fabric counters under "<prefix>.cells_forwarded" etc. */
+    void registerStats(obs::MetricRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     /** One attachment point. */

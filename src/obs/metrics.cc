@@ -1,0 +1,216 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace remora::obs {
+
+void
+MetricRegistry::add(const std::string &name, const sim::Counter &c)
+{
+    Entry e;
+    e.kind = Entry::Kind::kCounter;
+    e.object = &c;
+    entries_[name] = std::move(e);
+}
+
+void
+MetricRegistry::add(const std::string &name, const sim::Accumulator &a)
+{
+    Entry e;
+    e.kind = Entry::Kind::kAccumulator;
+    e.object = &a;
+    entries_[name] = std::move(e);
+}
+
+void
+MetricRegistry::add(const std::string &name, const sim::Histogram &h)
+{
+    Entry e;
+    e.kind = Entry::Kind::kHistogram;
+    e.object = &h;
+    entries_[name] = std::move(e);
+}
+
+void
+MetricRegistry::addGauge(const std::string &name, Gauge g)
+{
+    Entry e;
+    e.kind = Entry::Kind::kGauge;
+    e.gauge = std::move(g);
+    entries_[name] = std::move(e);
+}
+
+void
+MetricRegistry::removePrefix(const std::string &prefix)
+{
+    auto it = entries_.lower_bound(prefix);
+    while (it != entries_.end() && it->first.rfind(prefix, 0) == 0) {
+        it = entries_.erase(it);
+    }
+}
+
+MetricRegistry &
+MetricRegistry::global()
+{
+    static MetricRegistry reg;
+    return reg;
+}
+
+namespace {
+
+std::string
+renderText(const MetricRegistry::Gauge &gauge, const void *obj,
+           int kind)
+{
+    char buf[200];
+    switch (kind) {
+      case 0: { // counter
+        const auto *c = static_cast<const sim::Counter *>(obj);
+        return std::to_string(c->value());
+      }
+      case 1: { // accumulator
+        const auto *a = static_cast<const sim::Accumulator *>(obj);
+        std::snprintf(buf, sizeof(buf),
+                      "count=%llu mean=%.3f min=%.3f max=%.3f stddev=%.3f",
+                      static_cast<unsigned long long>(a->count()), a->mean(),
+                      a->count() ? a->min() : 0.0,
+                      a->count() ? a->max() : 0.0, a->stddev());
+        return buf;
+      }
+      case 2: { // histogram
+        const auto *h = static_cast<const sim::Histogram *>(obj);
+        if (h->total() == 0) {
+            return "count=0";
+        }
+        std::snprintf(buf, sizeof(buf),
+                      "count=%llu p50=%.3f p90=%.3f p99=%.3f",
+                      static_cast<unsigned long long>(h->total()),
+                      h->quantile(0.50), h->quantile(0.90), h->quantile(0.99));
+        return buf;
+      }
+      default: { // gauge
+        std::snprintf(buf, sizeof(buf), "%.3f", gauge());
+        return buf;
+      }
+    }
+}
+
+void
+renderJsonLeaf(util::JsonWriter &w, const MetricRegistry::Gauge &gauge,
+               const void *obj, int kind)
+{
+    switch (kind) {
+      case 0: {
+        const auto *c = static_cast<const sim::Counter *>(obj);
+        w.value(c->value());
+        break;
+      }
+      case 1: {
+        const auto *a = static_cast<const sim::Accumulator *>(obj);
+        w.beginObject()
+            .kv("count", a->count())
+            .kv("mean", a->mean())
+            .kv("min", a->count() ? a->min() : 0.0)
+            .kv("max", a->count() ? a->max() : 0.0)
+            .kv("stddev", a->stddev())
+            .endObject();
+        break;
+      }
+      case 2: {
+        const auto *h = static_cast<const sim::Histogram *>(obj);
+        w.beginObject().kv("count", h->total());
+        if (h->total() > 0) {
+            w.kv("p50", h->quantile(0.50))
+                .kv("p90", h->quantile(0.90))
+                .kv("p99", h->quantile(0.99));
+        }
+        w.kv("underflow", h->underflow()).kv("overflow", h->overflow());
+        w.key("buckets").beginArray();
+        for (size_t i = 0; i < h->buckets(); ++i) {
+            if (h->bucketCount(i) == 0) {
+                continue;
+            }
+            w.beginArray()
+                .value(h->bucketLo(i))
+                .value(h->bucketCount(i))
+                .endArray();
+        }
+        w.endArray().endObject();
+        break;
+      }
+      default:
+        w.value(gauge());
+        break;
+    }
+}
+
+std::vector<std::string>
+splitDotted(const std::string &name)
+{
+    std::vector<std::string> parts;
+    size_t start = 0;
+    for (;;) {
+        size_t dot = name.find('.', start);
+        if (dot == std::string::npos) {
+            parts.push_back(name.substr(start));
+            return parts;
+        }
+        parts.push_back(name.substr(start, dot - start));
+        start = dot + 1;
+    }
+}
+
+} // namespace
+
+std::string
+MetricRegistry::dump() const
+{
+    std::ostringstream out;
+    for (const auto &[name, e] : entries_) {
+        out << name << ' '
+            << renderText(e.gauge, e.object, static_cast<int>(e.kind))
+            << '\n';
+    }
+    return out.str();
+}
+
+std::string
+MetricRegistry::dumpJson() const
+{
+    util::JsonWriter w;
+    w.beginObject();
+    // entries_ is sorted, so shared dotted prefixes are adjacent: keep a
+    // stack of open objects matching the current path.
+    std::vector<std::string> open;
+    for (const auto &[name, e] : entries_) {
+        std::vector<std::string> parts = splitDotted(name);
+        size_t common = 0;
+        while (common < open.size() && common + 1 < parts.size() &&
+               open[common] == parts[common]) {
+            ++common;
+        }
+        while (open.size() > common) {
+            w.endObject();
+            open.pop_back();
+        }
+        while (open.size() + 1 < parts.size()) {
+            w.key(parts[open.size()]).beginObject();
+            open.push_back(parts[open.size()]);
+        }
+        w.key(parts.back());
+        renderJsonLeaf(w, e.gauge, e.object, static_cast<int>(e.kind));
+    }
+    while (!open.empty()) {
+        w.endObject();
+        open.pop_back();
+    }
+    w.endObject();
+    return w.str();
+}
+
+} // namespace remora::obs

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Cluster-wide, simulated-time trace recording.
+ *
+ * The paper's results are latency *decompositions*: where a
+ * meta-instruction spends its microseconds between issue, the wire,
+ * the serving kernel, and the notification path. TraceRecorder captures
+ * exactly that — every instrumented component posts spans (work with a
+ * duration), instants (points in time), and async ops (one logical
+ * operation crossing nodes, correlated by id) against the simulated
+ * clock, scoped by node and component.
+ *
+ * Recording is off by default and the instrumentation fast-path is a
+ * single static bool, so benches pay nothing. When enabled, a run can
+ * be exported as Chrome trace_event JSON (open in chrome://tracing or
+ * https://ui.perfetto.dev): nodes render as processes, components as
+ * threads, and async ops as arrows across them.
+ *
+ * One recorder per process, matching the one-simulation-per-process
+ * model the Logger already assumes.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace remora::obs {
+
+/** What kind of trace record an event is. */
+enum class TracePhase : uint8_t
+{
+    /** A span: work with a start time and duration. */
+    kSpan,
+    /** A point event. */
+    kInstant,
+    /** Start of an id-correlated operation (may end on another node). */
+    kAsyncBegin,
+    /** End of an id-correlated operation. */
+    kAsyncEnd,
+};
+
+/** One recorded event. */
+struct TraceEvent
+{
+    TracePhase phase;
+    /** Simulated start time, ns. */
+    sim::Time ts = 0;
+    /** Span duration, ns (kSpan only; -1 while the span is open). */
+    sim::Duration dur = -1;
+    /** Correlation id (async phases only). */
+    uint64_t id = 0;
+    /** Node scope (Chrome "process"), e.g. "client". */
+    std::string node;
+    /** Component scope (Chrome "thread"), e.g. "rmem". */
+    std::string comp;
+    /** Event name, e.g. "serve_read". */
+    std::string name;
+    /** Free-form detail, rendered as the event's args. */
+    std::string detail;
+};
+
+/** Handle returned by beginSpan(); pass to endSpan(). */
+using SpanId = size_t;
+
+/** Sentinel handle returned when recording is disabled. */
+inline constexpr SpanId kNoSpan = static_cast<SpanId>(-1);
+
+/** The process-wide trace recorder. */
+class TraceRecorder
+{
+  public:
+    /** The process-wide instance. */
+    static TraceRecorder &instance();
+
+    /**
+     * Cheapest possible "is tracing on" check, for instrumentation
+     * fast paths.
+     */
+    static bool on() { return on_; }
+
+    /**
+     * Start recording against @p simulator's clock. Events already
+     * recorded are kept (enable/disable brackets a region of interest).
+     */
+    void enable(sim::Simulator &simulator);
+
+    /** Stop recording. Open spans stay open until export. */
+    void disable();
+
+    /** Drop all recorded events. Invalidates outstanding SpanIds. */
+    void clear();
+
+    /**
+     * Bound on stored events; once reached, further records are counted
+     * in dropped() and discarded (newest-lose keeps SpanIds stable).
+     */
+    void setCapacity(size_t maxEvents);
+
+    /** Events discarded because the capacity was reached. */
+    uint64_t dropped() const { return dropped_; }
+
+    /** A fresh id for an async operation. */
+    uint64_t newAsyncId() { return nextAsyncId_++; }
+
+    /**
+     * Open a span on (node, comp) starting now.
+     *
+     * @return Handle for endSpan(), or kNoSpan when disabled/full.
+     */
+    SpanId beginSpan(std::string_view node, std::string_view comp,
+                     std::string_view name, std::string detail = {});
+
+    /** Close a span; kNoSpan and stale handles are ignored. */
+    void endSpan(SpanId span);
+
+    /** Record a point event. */
+    void instant(std::string_view node, std::string_view comp,
+                 std::string_view name, std::string detail = {});
+
+    /** Open async op @p id (correlates across nodes). */
+    void asyncBegin(uint64_t id, std::string_view node, std::string_view comp,
+                    std::string_view name, std::string detail = {});
+
+    /** Close async op @p id. Name and comp must match the begin. */
+    void asyncEnd(uint64_t id, std::string_view node, std::string_view comp,
+                  std::string_view name, std::string detail = {});
+
+    /** All recorded events, in record order. */
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Number of recorded events. */
+    size_t eventCount() const { return events_.size(); }
+
+    /**
+     * Render the recording as a Chrome trace_event JSON document.
+     * Open spans are closed at the current (or last-known) sim time.
+     */
+    std::string toChromeJson() const;
+
+    /**
+     * Write toChromeJson() to @p path.
+     *
+     * @return True on success.
+     */
+    bool writeChromeJson(const std::string &path) const;
+
+  private:
+    TraceRecorder() = default;
+
+    /** Append an event if recording; returns its index or kNoSpan. */
+    SpanId push(TraceEvent &&ev);
+
+    static bool on_;
+    sim::Simulator *sim_ = nullptr;
+    std::vector<TraceEvent> events_;
+    size_t capacity_ = 1u << 20;
+    uint64_t dropped_ = 0;
+    uint64_t nextAsyncId_ = 1;
+};
+
+/**
+ * RAII span for straight-line (non-suspending) code. Coroutines that
+ * suspend across the span should use explicit beginSpan()/endSpan()
+ * so the span closes at completion time, not frame destruction.
+ */
+class TraceScope
+{
+  public:
+    TraceScope(std::string_view node, std::string_view comp,
+               std::string_view name, std::string detail = {})
+        : span_(TraceRecorder::on()
+                    ? TraceRecorder::instance().beginSpan(node, comp, name,
+                                                          std::move(detail))
+                    : kNoSpan)
+    {}
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+    ~TraceScope()
+    {
+        if (span_ != kNoSpan) {
+            TraceRecorder::instance().endSpan(span_);
+        }
+    }
+
+  private:
+    SpanId span_;
+};
+
+} // namespace remora::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "net/aal5.h"
+#include "obs/trace.h"
 #include "sim/logger.h"
 #include "util/panic.h"
 
@@ -148,6 +150,16 @@ RmemEngine::write(ImportedSegment dst, uint32_t offset,
                                "write outside imported segment");
     }
 
+    sim::Time start = node_.simulator().now();
+    uint64_t opId = 0;
+    if (obs::TraceRecorder::on()) {
+        auto &rec = obs::TraceRecorder::instance();
+        opId = rec.newAsyncId();
+        rec.asyncBegin(opId, node_.name(), "rmem", "write",
+                       "bytes=" + std::to_string(data.size()) + " dst=" +
+                           std::to_string(dst.node));
+    }
+
     // Sender-side emulation: trap + rights verification.
     co_await node_.cpu().use(costs_.trapOverhead + costs_.validateCost,
                              sim::CpuCategory::kOther);
@@ -171,6 +183,13 @@ RmemEngine::write(ImportedSegment dst, uint32_t offset,
             break;
         }
     } while (true);
+    // Local completion never waits on the wire or the remote NIC, so
+    // the whole latency is software.
+    recordOp(metrics_.write, start, 0, 0);
+    if (opId != 0) {
+        obs::TraceRecorder::instance().asyncEnd(opId, node_.name(), "rmem",
+                                                "write");
+    }
     co_return util::Status();
 }
 
@@ -202,6 +221,19 @@ RmemEngine::read(ImportedSegment src, uint32_t srcOff, SegmentId dstSeg,
                          "destination outside local segment"),
             {}};
     }
+
+    sim::Time start = node_.simulator().now();
+    uint64_t opId = 0;
+    if (obs::TraceRecorder::on()) {
+        auto &rec = obs::TraceRecorder::instance();
+        opId = rec.newAsyncId();
+        rec.asyncBegin(opId, node_.name(), "rmem", "read",
+                       "count=" + std::to_string(count) + " src=" +
+                           std::to_string(src.node));
+    }
+    // Model-derived phase estimates, accumulated per chunk.
+    sim::Duration wireTime = 0;
+    sim::Duration controllerTime = 0;
 
     co_await node_.cpu().use(costs_.trapOverhead + costs_.validateCost,
                              sim::CpuCategory::kOther);
@@ -252,8 +284,22 @@ RmemEngine::read(ImportedSegment src, uint32_t srcOff, SegmentId dstSeg,
         req.notify = notify && lastChunk;
         wire_.send(src.node, Message(req), sim::CpuCategory::kDataReply);
 
+        // One request cell out; the response is one raw cell when it
+        // fits, otherwise an AAL5 frame. Each chunk also pays a server
+        // RX interrupt and a local RX interrupt (the controller phase).
+        size_t respBytes = chunk + 6;
+        wireTime += modelWireTime(1, respBytes <= net::Cell::kPayloadBytes
+                                         ? 1
+                                         : net::aal5CellCount(respBytes));
+        controllerTime += 2 * node_.nic().interruptLatency();
+
         ReadOutcome part = co_await fut;
         if (!part.status.ok()) {
+            if (opId != 0) {
+                obs::TraceRecorder::instance().asyncEnd(
+                    opId, node_.name(), "rmem", "read",
+                    part.status.message());
+            }
             co_return ReadOutcome{part.status, std::move(total.data)};
         }
         total.data.insert(total.data.end(), part.data.begin(),
@@ -262,6 +308,11 @@ RmemEngine::read(ImportedSegment src, uint32_t srcOff, SegmentId dstSeg,
         if (count == 0) {
             break;
         }
+    }
+    recordOp(metrics_.read, start, wireTime, controllerTime);
+    if (opId != 0) {
+        obs::TraceRecorder::instance().asyncEnd(opId, node_.name(), "rmem",
+                                                "read");
     }
     co_return total;
 }
@@ -289,6 +340,15 @@ RmemEngine::cas(ImportedSegment dst, uint32_t offset, uint32_t oldValue,
         co_return CasOutcome{util::Status(util::ErrorCode::kInvalidArgument,
                                           "CAS result location invalid"),
                              false, 0};
+    }
+
+    sim::Time start = node_.simulator().now();
+    uint64_t opId = 0;
+    if (obs::TraceRecorder::on()) {
+        auto &rec = obs::TraceRecorder::instance();
+        opId = rec.newAsyncId();
+        rec.asyncBegin(opId, node_.name(), "rmem", "cas",
+                       "dst=" + std::to_string(dst.node));
     }
 
     co_await node_.cpu().use(costs_.trapOverhead + costs_.validateCost,
@@ -328,6 +388,16 @@ RmemEngine::cas(ImportedSegment dst, uint32_t offset, uint32_t oldValue,
     wire_.send(dst.node, Message(req), sim::CpuCategory::kDataReply);
 
     CasOutcome out = co_await fut;
+    if (out.status.ok()) {
+        // Single-cell exchange: one request, one response, two NIC
+        // interrupts on the critical path.
+        recordOp(metrics_.cas, start, modelWireTime(1, 1),
+                 2 * node_.nic().interruptLatency());
+    }
+    if (opId != 0) {
+        obs::TraceRecorder::instance().asyncEnd(opId, node_.name(), "rmem",
+                                                "cas", out.status.message());
+    }
     co_return out;
 }
 
@@ -359,11 +429,19 @@ void
 RmemEngine::serveWrite(net::NodeId src, WriteReq &&req)
 {
     stats_.requestsServed.inc();
+    // Span from dispatch to the copy's completion (or the NAK).
+    obs::SpanId span = obs::kNoSpan;
+    if (obs::TraceRecorder::on()) {
+        span = obs::TraceRecorder::instance().beginSpan(
+            node_.name(), "rmem", "serve_write",
+            "bytes=" + std::to_string(req.data.size()) + " from=" +
+                std::to_string(src));
+    }
     auto &cpu = node_.cpu();
     // Stage 1: demux + validation.
     cpu.post(costs_.msgHandleCost + costs_.validateCost,
              sim::CpuCategory::kDataReceive,
-             [this, src, req = std::move(req)]() mutable {
+             [this, src, span, req = std::move(req)]() mutable {
                  auto v = table_.validate(req.descriptor, req.generation,
                                           req.offset, req.data.size(),
                                           Rights::kWrite);
@@ -372,6 +450,7 @@ RmemEngine::serveWrite(net::NodeId src, WriteReq &&req)
                              req.data.size() <= kSmallWriteMax
                                  ? MsgType::kWriteSmall
                                  : MsgType::kWriteBlock);
+                     obs::TraceRecorder::instance().endSpan(span);
                      return;
                  }
                  // Stage 2: translation + copy into the owner's space.
@@ -380,7 +459,7 @@ RmemEngine::serveWrite(net::NodeId src, WriteReq &&req)
                      translateCost(costs_, req.offset, req.data.size()) +
                      costs_.copyCost(req.data.size());
                  cpu2.post(cost, sim::CpuCategory::kDataReceive,
-                           [this, src, req = std::move(req)]() mutable {
+                           [this, src, span, req = std::move(req)]() mutable {
                                // Re-validate: the segment may have been
                                // revoked while the copy was in flight.
                                auto v2 = table_.validate(
@@ -389,6 +468,8 @@ RmemEngine::serveWrite(net::NodeId src, WriteReq &&req)
                                if (!v2.ok()) {
                                    sendNak(src, 0, v2.status().code(),
                                            MsgType::kWriteBlock);
+                                   obs::TraceRecorder::instance().endSpan(
+                                       span);
                                    return;
                                }
                                SegmentDescriptor *d = v2.value();
@@ -397,6 +478,8 @@ RmemEngine::serveWrite(net::NodeId src, WriteReq &&req)
                                    sendNak(src, 0,
                                            util::ErrorCode::kBadDescriptor,
                                            MsgType::kWriteBlock);
+                                   obs::TraceRecorder::instance().endSpan(
+                                       span);
                                    return;
                                }
                                util::Status ws = owner->space().write(
@@ -408,6 +491,7 @@ RmemEngine::serveWrite(net::NodeId src, WriteReq &&req)
                                                 req.offset,
                                                 static_cast<uint32_t>(
                                                     req.data.size())});
+                               obs::TraceRecorder::instance().endSpan(span);
                            });
              });
 }
@@ -416,15 +500,23 @@ void
 RmemEngine::serveRead(net::NodeId src, ReadReq &&req)
 {
     stats_.requestsServed.inc();
+    obs::SpanId span = obs::kNoSpan;
+    if (obs::TraceRecorder::on()) {
+        span = obs::TraceRecorder::instance().beginSpan(
+            node_.name(), "rmem", "serve_read",
+            "count=" + std::to_string(req.count) + " from=" +
+                std::to_string(src));
+    }
     auto &cpu = node_.cpu();
     cpu.post(costs_.msgHandleCost + costs_.validateCost,
-             sim::CpuCategory::kDataReceive, [this, src, req]() mutable {
+             sim::CpuCategory::kDataReceive, [this, src, span, req]() mutable {
                  auto v = table_.validate(req.srcDescriptor, req.generation,
                                           req.srcOffset, req.count,
                                           Rights::kRead);
                  if (!v.ok()) {
                      sendNak(src, req.reqId, v.status().code(),
                              MsgType::kReadReq);
+                     obs::TraceRecorder::instance().endSpan(span);
                      return;
                  }
                  // Read-out: translation + copy, then the reply transfer.
@@ -433,7 +525,7 @@ RmemEngine::serveRead(net::NodeId src, ReadReq &&req)
                      costs_.copyCost(req.count);
                  node_.cpu().post(
                      cost, sim::CpuCategory::kDataReply,
-                     [this, src, req]() mutable {
+                     [this, src, span, req]() mutable {
                          auto v2 = table_.validate(req.srcDescriptor,
                                                    req.generation,
                                                    req.srcOffset, req.count,
@@ -441,6 +533,7 @@ RmemEngine::serveRead(net::NodeId src, ReadReq &&req)
                          if (!v2.ok()) {
                              sendNak(src, req.reqId, v2.status().code(),
                                      MsgType::kReadReq);
+                             obs::TraceRecorder::instance().endSpan(span);
                              return;
                          }
                          SegmentDescriptor *d = v2.value();
@@ -449,6 +542,7 @@ RmemEngine::serveRead(net::NodeId src, ReadReq &&req)
                              sendNak(src, req.reqId,
                                      util::ErrorCode::kBadDescriptor,
                                      MsgType::kReadReq);
+                             obs::TraceRecorder::instance().endSpan(span);
                              return;
                          }
                          ReadResp resp;
@@ -469,6 +563,7 @@ RmemEngine::serveRead(net::NodeId src, ReadReq &&req)
                                                       req.srcOffset,
                                                       req.count});
                          }
+                         obs::TraceRecorder::instance().endSpan(span);
                      });
              });
 }
@@ -477,10 +572,16 @@ void
 RmemEngine::serveCas(net::NodeId src, CasReq &&req)
 {
     stats_.requestsServed.inc();
+    obs::SpanId span = obs::kNoSpan;
+    if (obs::TraceRecorder::on()) {
+        span = obs::TraceRecorder::instance().beginSpan(
+            node_.name(), "rmem", "serve_cas",
+            "from=" + std::to_string(src));
+    }
     auto &cpu = node_.cpu();
     cpu.post(
         costs_.msgHandleCost + costs_.validateCost + costs_.casExecCost,
-        sim::CpuCategory::kDataReceive, [this, src, req]() mutable {
+        sim::CpuCategory::kDataReceive, [this, src, span, req]() mutable {
             auto v = table_.validate(req.descriptor, req.generation,
                                      req.offset, 4, Rights::kCas);
             if (!v.ok() || req.offset % 4 != 0) {
@@ -488,6 +589,7 @@ RmemEngine::serveCas(net::NodeId src, CasReq &&req)
                         v.ok() ? util::ErrorCode::kInvalidArgument
                                : v.status().code(),
                         MsgType::kCasReq);
+                obs::TraceRecorder::instance().endSpan(span);
                 return;
             }
             SegmentDescriptor *d = v.value();
@@ -495,6 +597,7 @@ RmemEngine::serveCas(net::NodeId src, CasReq &&req)
             if (owner == nullptr) {
                 sendNak(src, req.reqId, util::ErrorCode::kBadDescriptor,
                         MsgType::kCasReq);
+                obs::TraceRecorder::instance().endSpan(span);
                 return;
             }
             auto word = owner->space().readWord(d->base + req.offset);
@@ -511,6 +614,7 @@ RmemEngine::serveCas(net::NodeId src, CasReq &&req)
             wire_.send(src, Message(resp), sim::CpuCategory::kDataReply);
             maybeNotify(*d, req.notify,
                         Notification{src, NotifyKind::kCas, req.offset, 4});
+            obs::TraceRecorder::instance().endSpan(span);
         });
 }
 
@@ -527,11 +631,18 @@ RmemEngine::completeRead(net::NodeId src, ReadResp &&resp)
         node_.simulator().cancel(p.timeoutEvent);
     }
     // Deposit: demux + copy into the reader's address space.
+    obs::SpanId span = obs::kNoSpan;
+    if (obs::TraceRecorder::on()) {
+        span = obs::TraceRecorder::instance().beginSpan(
+            node_.name(), "rmem", "deposit_read",
+            "bytes=" + std::to_string(resp.data.size()));
+    }
     sim::Duration cost =
         costs_.msgHandleCost + costs_.copyCost(resp.data.size());
     node_.cpu().post(
         cost, sim::CpuCategory::kDataReceive,
-        [this, src, p = std::move(p), data = std::move(resp.data)]() mutable {
+        [this, src, span, p = std::move(p),
+         data = std::move(resp.data)]() mutable {
             mem::Process *proc = node_.findProcess(p.dstPid);
             if (proc != nullptr) {
                 util::Status ws = proc->space().write(p.dstVa, data);
@@ -543,6 +654,7 @@ RmemEngine::completeRead(net::NodeId src, ReadResp &&resp)
                                           static_cast<uint32_t>(data.size())});
                 }
             }
+            obs::TraceRecorder::instance().endSpan(span);
             p.done.set(ReadOutcome{util::Status(), std::move(data)});
         });
 }
@@ -560,15 +672,23 @@ RmemEngine::completeCas(net::NodeId src, CasResp &&resp)
     if (p.timeoutEvent != 0) {
         node_.simulator().cancel(p.timeoutEvent);
     }
+    obs::SpanId span = obs::kNoSpan;
+    if (obs::TraceRecorder::on()) {
+        span = obs::TraceRecorder::instance().beginSpan(
+            node_.name(), "rmem", "deposit_cas",
+            resp.success ? "success" : "failure");
+    }
     node_.cpu().post(
         costs_.msgHandleCost + costs_.copyWordCost,
-        sim::CpuCategory::kDataReceive, [this, p = std::move(p), resp]() mutable {
+        sim::CpuCategory::kDataReceive,
+        [this, span, p = std::move(p), resp]() mutable {
             mem::Process *proc = node_.findProcess(p.resultPid);
             if (proc != nullptr) {
                 util::Status ws = proc->space().writeWord(
                     p.resultVa, resp.success ? 1u : 0u);
                 REMORA_ASSERT(ws.ok());
             }
+            obs::TraceRecorder::instance().endSpan(span);
             p.done.set(
                 CasOutcome{util::Status(), resp.success, resp.observed});
         });
@@ -577,8 +697,13 @@ RmemEngine::completeCas(net::NodeId src, CasResp &&resp)
 void
 RmemEngine::handleNak(net::NodeId src, const Nak &nak)
 {
-    (void)src;
     stats_.naksReceived.inc();
+    if (obs::TraceRecorder::on()) {
+        obs::TraceRecorder::instance().instant(
+            node_.name(), "rmem", "nak_rx",
+            std::string(util::errorCodeName(nak.error)) + " from=" +
+                std::to_string(src));
+    }
     if (auto it = pendingReads_.find(nak.reqId); it != pendingReads_.end()) {
         PendingRead p = std::move(it->second);
         pendingReads_.erase(it);
@@ -609,6 +734,12 @@ RmemEngine::sendNak(net::NodeId dst, ReqId reqId, util::ErrorCode error,
                     MsgType originalType)
 {
     stats_.naksSent.inc();
+    if (obs::TraceRecorder::on()) {
+        obs::TraceRecorder::instance().instant(
+            node_.name(), "rmem", "nak_tx",
+            std::string(util::errorCodeName(error)) + " dst=" +
+                std::to_string(dst));
+    }
     Nak nak;
     nak.reqId = reqId;
     nak.error = error;
@@ -634,6 +765,12 @@ RmemEngine::maybeNotify(SegmentDescriptor &d, bool requestNotify,
     }
     if (fire && d.channel) {
         stats_.notificationsPosted.inc();
+        if (obs::TraceRecorder::on()) {
+            obs::TraceRecorder::instance().instant(
+                node_.name(), "rmem", "notify",
+                "offset=" + std::to_string(n.offset) + " len=" +
+                    std::to_string(n.count));
+        }
         d.channel->post(n);
     }
 }
@@ -657,6 +794,69 @@ mem::Process *
 RmemEngine::ownerOf(const SegmentDescriptor &d)
 {
     return node_.findProcess(d.ownerPid);
+}
+
+sim::Duration
+RmemEngine::modelWireTime(size_t cellsOut, size_t cellsBack) const
+{
+    net::Link *l = node_.nic().txLink();
+    if (l == nullptr) {
+        return 0;
+    }
+    // Symmetric-cluster assumption: the return path has the same rate
+    // and propagation as the local TX link.
+    sim::Duration t = static_cast<sim::Duration>(cellsOut + cellsBack) *
+                      l->cellTime();
+    if (cellsOut > 0) {
+        t += l->propagation();
+    }
+    if (cellsBack > 0) {
+        t += l->propagation();
+    }
+    return t;
+}
+
+void
+RmemEngine::recordOp(OpPhaseStats &op, sim::Time start,
+                     sim::Duration wireTime, sim::Duration controllerTime)
+{
+    sim::Duration total = node_.simulator().now() - start;
+    double totalUs = sim::toUsec(total);
+    op.latencyUs.sample(totalUs);
+    op.totalUs.sample(totalUs);
+    // Software is whatever the modeled wire and controller phases do
+    // not account for; clamp against model over-estimates.
+    sim::Duration software =
+        std::max<sim::Duration>(0, total - wireTime - controllerTime);
+    op.softwareUs.sample(sim::toUsec(software));
+    op.wireUs.sample(sim::toUsec(wireTime));
+    op.controllerUs.sample(sim::toUsec(controllerTime));
+}
+
+void
+RmemEngine::registerStats(obs::MetricRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.add(prefix + ".writes_issued", stats_.writesIssued);
+    reg.add(prefix + ".reads_issued", stats_.readsIssued);
+    reg.add(prefix + ".cas_issued", stats_.casIssued);
+    reg.add(prefix + ".requests_served", stats_.requestsServed);
+    reg.add(prefix + ".naks_sent", stats_.naksSent);
+    reg.add(prefix + ".naks_received", stats_.naksReceived);
+    reg.add(prefix + ".notifications_posted", stats_.notificationsPosted);
+    reg.add(prefix + ".timeouts", stats_.timeouts);
+    auto addOp = [&reg, &prefix](const char *name, const OpPhaseStats &op) {
+        std::string base = prefix + "." + name;
+        reg.add(base + ".latency_us", op.latencyUs);
+        reg.add(base + ".total_us", op.totalUs);
+        reg.add(base + ".software_us", op.softwareUs);
+        reg.add(base + ".wire_us", op.wireUs);
+        reg.add(base + ".controller_us", op.controllerUs);
+    };
+    addOp("write", metrics_.write);
+    addOp("read", metrics_.read);
+    addOp("cas", metrics_.cas);
+    wire_.registerStats(reg, prefix + ".wire");
 }
 
 } // namespace remora::rmem

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "mem/node.h"
+#include "obs/metrics.h"
 #include "rmem/cost_model.h"
 #include "rmem/descriptor.h"
 #include "rmem/protocol.h"
@@ -73,6 +74,32 @@ struct EngineStats
     sim::Counter naksReceived;
     sim::Counter notificationsPosted;
     sim::Counter timeouts;
+};
+
+/**
+ * Latency decomposition of one meta-instruction class, reproducing
+ * Table 2's phase breakdown. The wire and controller phases are derived
+ * from the topology model (cell serialization + propagation, NIC
+ * interrupt latencies on the critical path); software is the remainder
+ * — kernel emulation, PIO, validation, and copies.
+ */
+struct OpPhaseStats
+{
+    /** End-to-end latency, 5 us buckets up to 400 us. */
+    sim::Histogram latencyUs{0.0, 5.0, 80};
+    sim::Accumulator totalUs;
+    sim::Accumulator softwareUs;
+    sim::Accumulator wireUs;
+    sim::Accumulator controllerUs;
+};
+
+/** Per-meta-instruction phase stats (successful ops only). */
+struct EngineMetrics
+{
+    /** WRITE latency is to local completion, so it is all software. */
+    OpPhaseStats write;
+    OpPhaseStats read;
+    OpPhaseStats cas;
 };
 
 /** Per-node remote-memory kernel layer. */
@@ -203,8 +230,18 @@ class RmemEngine
     /** Counters. */
     const EngineStats &stats() const { return stats_; }
 
+    /** Per-op latency/phase decomposition. */
+    const EngineMetrics &metrics() const { return metrics_; }
+
     /** NAKs received for writes (fire-and-forget failures). */
     uint64_t nakCount() const { return stats_.naksReceived.value(); }
+
+    /**
+     * Register this engine's counters, per-op phase stats, and the
+     * underlying Wire's counters under @p prefix (e.g. "nodeA.rmem").
+     */
+    void registerStats(obs::MetricRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     struct PendingRead
@@ -250,6 +287,18 @@ class RmemEngine
     /** The owning process of a descriptor, or nullptr if it died. */
     mem::Process *ownerOf(const SegmentDescriptor &d);
 
+    /**
+     * Modeled wire time of an exchange: @p cellsOut request cells and
+     * @p cellsBack response cells serialized at the local link's rate,
+     * plus one propagation delay per direction used. Zero when no link
+     * is attached.
+     */
+    sim::Duration modelWireTime(size_t cellsOut, size_t cellsBack) const;
+
+    /** Record one completed op's latency and phase decomposition. */
+    void recordOp(OpPhaseStats &op, sim::Time start, sim::Duration wireTime,
+                  sim::Duration controllerTime);
+
     mem::Node &node_;
     CostModel costs_;
     Wire wire_;
@@ -258,6 +307,7 @@ class RmemEngine
     std::unordered_map<ReqId, PendingCas> pendingCas_;
     ReqId nextReqId_ = 1;
     EngineStats stats_;
+    EngineMetrics metrics_;
 };
 
 } // namespace remora::rmem

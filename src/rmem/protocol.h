@@ -130,6 +130,9 @@ using Message = std::variant<WriteReq, ReadReq, ReadResp, CasReq, CasResp,
 /** The discriminator a Message encodes as. */
 MsgType messageType(const Message &msg);
 
+/** Human-readable name of a message type ("write_small", "read_req"...). */
+const char *msgTypeName(MsgType type);
+
 /** Serialize @p msg to wire bytes. */
 std::vector<uint8_t> encodeMessage(const Message &msg);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "sim/logger.h"
 #include "util/panic.h"
 
@@ -53,6 +54,18 @@ Wire::send(net::NodeId dst, const Message &msg, sim::CpuCategory category)
                    costs_.byteSwapWordCost;
     }
 
+    // Span covering header format + per-cell PIO until the last cell
+    // enters the TX FIFO (the "accepted by the network" point).
+    obs::SpanId txSpan = obs::kNoSpan;
+    if (obs::TraceRecorder::on()) {
+        txSpan = obs::TraceRecorder::instance().beginSpan(
+            node_.name(), "net", "tx_frame",
+            std::string(msgTypeName(messageType(msg))) + " dst=" +
+                std::to_string(dst) + " bytes=" +
+                std::to_string(bytes.size()) + " cells=" +
+                std::to_string(cells.size()));
+    }
+
     sim::Promise<void> accepted(node_.simulator());
     auto &cpu = node_.cpu();
     cpu.post(costs_.sendFormatCost, category);
@@ -61,7 +74,7 @@ Wire::send(net::NodeId dst, const Message &msg, sim::CpuCategory category)
         // overlaps with the CPU filling subsequent cells.
         bool last = (i + 1 == cells.size());
         cpu.post(perCell, category,
-                 [this, cell = cells[i], last, accepted]() mutable {
+                 [this, cell = cells[i], last, accepted, txSpan]() mutable {
                      if (!node_.nic().txSpace()) {
                          // The pass-through TX FIFO cannot back up in this
                          // model; reaching here means the invariant broke.
@@ -70,6 +83,7 @@ Wire::send(net::NodeId dst, const Message &msg, sim::CpuCategory category)
                      }
                      node_.nic().pushTx(cell);
                      if (last) {
+                         obs::TraceRecorder::instance().endSpan(txSpan);
                          accepted.set();
                      }
                  });
@@ -90,6 +104,15 @@ Wire::onRxInterrupt()
 sim::Task<void>
 Wire::drainLoop()
 {
+    // Explicit begin/end (not TraceScope): the coroutine suspends, and
+    // the span should close when the drain finishes, not when the frame
+    // unwinds.
+    obs::SpanId drainSpan = obs::kNoSpan;
+    if (obs::TraceRecorder::on()) {
+        drainSpan = obs::TraceRecorder::instance().beginSpan(
+            node_.name(), "net", "rx_drain",
+            "fifo=" + std::to_string(node_.nic().rxDepth()));
+    }
     auto &cpu = node_.cpu();
     co_await cpu.use(costs_.rxInterruptCost, sim::CpuCategory::kDataReceive);
     while (auto cell = node_.nic().popRx()) {
@@ -135,13 +158,29 @@ Wire::drainLoop()
         }
     }
     draining_ = false;
+    obs::TraceRecorder::instance().endSpan(drainSpan);
     // Cells that arrived during the final check raise a fresh interrupt.
+}
+
+void
+Wire::registerStats(obs::MetricRegistry &reg, const std::string &prefix) const
+{
+    reg.add(prefix + ".msgs_sent", msgsSent_);
+    reg.add(prefix + ".msgs_received", msgsReceived_);
+    reg.add(prefix + ".bytes_sent", bytesSent_);
+    reg.add(prefix + ".decode_errors", decodeErrors_);
 }
 
 void
 Wire::route(net::NodeId src, Message &&msg)
 {
     bool isRpc = messageType(msg) == MsgType::kRpc;
+    if (obs::TraceRecorder::on()) {
+        obs::TraceRecorder::instance().instant(
+            node_.name(), "net", "rx_msg",
+            std::string(msgTypeName(messageType(msg))) + " src=" +
+                std::to_string(src));
+    }
     Handler &h = isRpc ? rpcHandler_ : rmemHandler_;
     if (!h) {
         REMORA_LOG(kWarn, "wire",

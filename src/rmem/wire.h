@@ -18,6 +18,7 @@
 
 #include "mem/node.h"
 #include "net/aal5.h"
+#include "obs/metrics.h"
 #include "rmem/cost_model.h"
 #include "rmem/protocol.h"
 #include "sim/stats.h"
@@ -100,6 +101,10 @@ class Wire
 
     /** The cost model in force. */
     const CostModel &costs() const { return costs_; }
+
+    /** Register message counters under "<prefix>.msgs_sent" etc. */
+    void registerStats(obs::MetricRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     /** PTI bit marking a raw (non-AAL5) single-cell message. */

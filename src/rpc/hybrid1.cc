@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/bytes.h"
 #include "util/panic.h"
 
@@ -77,6 +78,13 @@ Hybrid1Server::serveLoop()
 sim::Task<void>
 Hybrid1Server::serveOne(net::NodeId src, uint32_t slot)
 {
+    // Explicit span: the coroutine suspends across the procedure body.
+    obs::SpanId span = obs::kNoSpan;
+    if (obs::TraceRecorder::on()) {
+        span = obs::TraceRecorder::instance().beginSpan(
+            engine_.node().name(), "rpc", "serve_one",
+            "slot=" + std::to_string(slot) + " from=" + std::to_string(src));
+    }
     auto &cpu = engine_.node().cpu();
     mem::Vaddr slotVa = segBase_ + slot * params_.slotBytes;
 
@@ -93,6 +101,7 @@ Hybrid1Server::serveOne(net::NodeId src, uint32_t slot)
     uint32_t replySize = r.getU32();
 
     if (kReqHeader + argLen > params_.slotBytes) {
+        obs::TraceRecorder::instance().endSpan(span);
         co_return; // malformed request; nothing sane to reply to
     }
     std::vector<uint8_t> args(argLen);
@@ -123,6 +132,7 @@ Hybrid1Server::serveOne(net::NodeId src, uint32_t slot)
     w.putBytes(results);
     util::Status ws = co_await engine_.write(reply, 0, w.take(), false);
     REMORA_ASSERT(ws.ok());
+    obs::TraceRecorder::instance().endSpan(span);
 }
 
 // ----------------------------------------------------------------------
@@ -154,6 +164,13 @@ Hybrid1Client::call(std::vector<uint8_t> args, sim::Duration timeout)
 {
     REMORA_ASSERT(kReqHeader + args.size() <= params_.slotBytes);
     uint32_t seq = ++seq_;
+    obs::SpanId span = obs::kNoSpan;
+    if (obs::TraceRecorder::on()) {
+        span = obs::TraceRecorder::instance().beginSpan(
+            engine_.node().name(), "rpc", "call",
+            "args=" + std::to_string(args.size()) + " seq=" +
+                std::to_string(seq));
+    }
 
     util::ByteWriter w(kReqHeader + args.size());
     w.putU32(seq);
@@ -169,6 +186,7 @@ Hybrid1Client::call(std::vector<uint8_t> args, sim::Duration timeout)
     util::Status ws = co_await engine_.write(
         server_, slot_ * params_.slotBytes, w.take(), true);
     if (!ws.ok()) {
+        obs::TraceRecorder::instance().endSpan(span);
         co_return ws;
     }
 
@@ -185,6 +203,7 @@ Hybrid1Client::call(std::vector<uint8_t> args, sim::Duration timeout)
             break;
         }
         if (sim.now() >= deadline) {
+            obs::TraceRecorder::instance().endSpan(span);
             co_return util::Status(util::ErrorCode::kTimeout,
                                    "hybrid1 reply timed out");
         }
@@ -200,12 +219,14 @@ Hybrid1Client::call(std::vector<uint8_t> args, sim::Duration timeout)
     uint32_t status = r.getU32();
     uint32_t len = r.getU32();
     if (status != 0) {
+        obs::TraceRecorder::instance().endSpan(span);
         co_return util::Status(util::ErrorCode::kInternal,
                                "hybrid1 remote failure");
     }
     std::vector<uint8_t> data(len);
     rs = process_.space().read(replyBase_ + kRespHeader, data);
     REMORA_ASSERT(rs.ok());
+    obs::TraceRecorder::instance().endSpan(span);
     co_return data;
 }
 

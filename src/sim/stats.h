@@ -131,7 +131,8 @@ class Histogram
  * Name → renderer registry for dumping simulation state.
  *
  * Stats register a closure that renders their current value; dump()
- * emits "name value" lines in lexicographic name order.
+ * emits "name value" lines in lexicographic name order, and dumpJson()
+ * emits one JSON object keyed by name with typed value objects.
  */
 class StatRegistry
 {
@@ -144,14 +145,24 @@ class StatRegistry
     /** Register an accumulator under @p name. */
     void add(const std::string &name, const Accumulator &a);
 
+    /** Register a histogram under @p name. */
+    void add(const std::string &name, const Histogram &h);
+
     /** Render all registered stats, one per line, sorted by name. */
     std::string dump() const;
+
+    /** Render all registered stats as one JSON object keyed by name. */
+    std::string dumpJson() const;
+
+    /** Number of registered stats. */
+    size_t size() const { return entries_.size(); }
 
   private:
     struct EntryRef
     {
         const void *object;
         Renderer render;
+        Renderer renderJson;
     };
     std::map<std::string, EntryRef> entries_;
 };

@@ -1,0 +1,166 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/panic.h"
+
+namespace remora::util {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::preValue()
+{
+    if (stack_.empty()) {
+        REMORA_ASSERT(out_.empty()); // only one top-level value
+        return;
+    }
+    if (stack_.back() == Scope::kObject) {
+        REMORA_ASSERT(pendingKey_); // object values need a key first
+        pendingKey_ = false;
+        return;
+    }
+    if (sawValue_.back()) {
+        out_ += ',';
+    }
+    sawValue_.back() = true;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    preValue();
+    out_ += '{';
+    stack_.push_back(Scope::kObject);
+    sawValue_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    preValue();
+    out_ += '[';
+    stack_.push_back(Scope::kArray);
+    sawValue_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    REMORA_ASSERT(!stack_.empty() && stack_.back() == Scope::kObject);
+    REMORA_ASSERT(!pendingKey_);
+    stack_.pop_back();
+    sawValue_.pop_back();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    REMORA_ASSERT(!stack_.empty() && stack_.back() == Scope::kArray);
+    stack_.pop_back();
+    sawValue_.pop_back();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    REMORA_ASSERT(!stack_.empty() && stack_.back() == Scope::kObject);
+    REMORA_ASSERT(!pendingKey_);
+    if (sawValue_.back()) {
+        out_ += ',';
+    }
+    sawValue_.back() = true;
+    out_ += '"';
+    out_ += jsonEscape(k);
+    out_ += "\":";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    preValue();
+    out_ += '"';
+    out_ += jsonEscape(v);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    preValue();
+    if (!std::isfinite(v)) {
+        out_ += "null";
+        return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    preValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    preValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    preValue();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    REMORA_ASSERT(stack_.empty());
+    return out_;
+}
+
+} // namespace remora::util

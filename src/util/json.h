@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * remora emits JSON in three places — Chrome trace files, metric dumps,
+ * and machine-readable bench reports — and all three need exactly the
+ * same few primitives: objects, arrays, escaped strings, and numbers
+ * that round-trip. JsonWriter keeps a context stack so commas and
+ * closing brackets are placed automatically; misuse (closing an array
+ * as an object, keys outside objects) asserts.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace remora::util {
+
+/** Escape @p s for inclusion inside a JSON string literal (no quotes). */
+std::string jsonEscape(std::string_view s);
+
+/** Context-tracking JSON emitter. */
+class JsonWriter
+{
+  public:
+    /** Begin an object; as a value in an array/after key() in an object. */
+    JsonWriter &beginObject();
+
+    /** Begin an array. */
+    JsonWriter &beginArray();
+
+    /** Close the innermost object. */
+    JsonWriter &endObject();
+
+    /** Close the innermost array. */
+    JsonWriter &endArray();
+
+    /** Emit a key inside an object; must be followed by one value. */
+    JsonWriter &key(std::string_view k);
+
+    /** Emit a string value. */
+    JsonWriter &value(std::string_view v);
+
+    /** Emit a string value (avoids const char* -> bool selection). */
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+
+    /** Emit a double value (NaN/inf become null). */
+    JsonWriter &value(double v);
+
+    /** Emit an unsigned integer value. */
+    JsonWriter &value(uint64_t v);
+
+    /** Emit a signed integer value. */
+    JsonWriter &value(int64_t v);
+
+    /** Emit a boolean value. */
+    JsonWriter &value(bool v);
+
+    /** Shorthand: key + string value. */
+    JsonWriter &
+    kv(std::string_view k, std::string_view v)
+    {
+        return key(k).value(v);
+    }
+
+    /** Shorthand: key + string value (avoids const char* -> bool selection). */
+    JsonWriter &
+    kv(std::string_view k, const char *v)
+    {
+        return key(k).value(std::string_view(v));
+    }
+
+    /** Shorthand: key + double value. */
+    JsonWriter &kv(std::string_view k, double v) { return key(k).value(v); }
+
+    /** Shorthand: key + unsigned value. */
+    JsonWriter &kv(std::string_view k, uint64_t v) { return key(k).value(v); }
+
+    /** Shorthand: key + signed value. */
+    JsonWriter &kv(std::string_view k, int64_t v) { return key(k).value(v); }
+
+    /** Shorthand: key + boolean value. */
+    JsonWriter &kv(std::string_view k, bool v) { return key(k).value(v); }
+
+    /**
+     * The completed document. All opened scopes must have been closed.
+     */
+    const std::string &str() const;
+
+  private:
+    enum class Scope : uint8_t
+    {
+        kObject,
+        kArray,
+    };
+
+    /** Emit separators/validation before a value lands in this scope. */
+    void preValue();
+
+    std::string out_;
+    std::vector<Scope> stack_;
+    /** A value has already been emitted in the current scope. */
+    std::vector<bool> sawValue_;
+    /** key() ran and its value has not arrived yet. */
+    bool pendingKey_ = false;
+};
+
+} // namespace remora::util
