@@ -60,7 +60,7 @@ main()
             std::string name = "probe-seg-" + std::to_string(i);
             mem::Vaddr base = hh->userA.space().allocRegion(4096);
             auto exp = co_await hh->clerkA.exportByName(
-                hh->userA, base, 4096, rmem::Rights::kAll,
+                &hh->userA, base, 4096, rmem::Rights::kAll,
                 rmem::NotifyPolicy::kConditional, name);
             REMORA_ASSERT(exp.ok());
 

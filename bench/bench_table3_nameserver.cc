@@ -63,7 +63,7 @@ measure(Harness *h, int iters)
         // Export on node A.
         sim::Time t0 = sim.now();
         auto exported = co_await h->clerkA.exportByName(
-            h->userA, base, 8192, rmem::Rights::kAll,
+            &h->userA, base, 8192, rmem::Rights::kAll,
             rmem::NotifyPolicy::kConditional, name);
         REMORA_ASSERT(exported.ok());
         r.exportUs += sim::toUsec(sim.now() - t0);

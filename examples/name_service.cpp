@@ -35,7 +35,7 @@ story(sim::Simulator *sim, names::NameClerk *alpha, names::NameClerk *beta,
     // alpha exports a segment under a cluster-visible name.
     mem::Vaddr base = owner->space().allocRegion(16384);
     auto exported = co_await alpha->exportByName(
-        *owner, base, 16384, rmem::Rights::kRead | rmem::Rights::kWrite,
+        owner, base, 16384, rmem::Rights::kRead | rmem::Rights::kWrite,
         rmem::NotifyPolicy::kConditional, "db.index");
     REMORA_ASSERT(exported.ok());
     stamp(*sim, "alpha", "exported 'db.index' (16 KB, read+write)");

@@ -49,7 +49,7 @@ serverSide(rmem::RmemEngine *engine, names::NameClerk *names,
     // 1. Export 4 KB of this process's memory under a public name.
     mem::Vaddr base = proc->space().allocRegion(4096);
     auto handle = co_await names->exportByName(
-        *proc, base, 4096, rmem::Rights::kAll,
+        proc, base, 4096, rmem::Rights::kAll,
         rmem::NotifyPolicy::kConditional, "quickstart.board");
     REMORA_ASSERT(handle.ok());
     std::printf("[%-9s] server exported 'quickstart.board' "

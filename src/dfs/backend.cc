@@ -140,7 +140,7 @@ DxBackend::scratchSlot()
 }
 
 sim::Task<util::Result<std::vector<uint8_t>>>
-DxBackend::fetch(const rmem::ImportedSegment &area, uint64_t areaOff,
+DxBackend::fetch(rmem::ImportedSegment area, uint64_t areaOff,
                  uint32_t count)
 {
     REMORA_ASSERT(count <= kScratchSlotBytes);

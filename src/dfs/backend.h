@@ -116,9 +116,11 @@ class DxBackend : public FileServiceBackend
     uint64_t misses() const { return misses_; }
 
   private:
-    /** Remote-read @p count bytes at @p areaOff of @p area. */
-    sim::Task<util::Result<std::vector<uint8_t>>> fetch(
-        const rmem::ImportedSegment &area, uint64_t areaOff, uint32_t count);
+    /** Remote-read @p count bytes at @p areaOff of @p area (by value:
+     *  the handle is copied into the coroutine frame, so it stays valid
+     *  across the remote-read suspension). */
+    sim::Task<util::Result<std::vector<uint8_t>>>
+    fetch(rmem::ImportedSegment area, uint64_t areaOff, uint32_t count);
 
     /** Next scratch deposit slot (rotates for concurrent ops). */
     uint32_t scratchSlot();

@@ -99,6 +99,9 @@ FileServer::handleBody(net::NodeId src, std::vector<uint8_t> body)
     stats_.callsServed.inc();
     rpc::Unmarshal u(body);
     auto proc = static_cast<NfsProc>(u.getU32());
+    engine_.node().simulator().noteDigest(
+        "dfs.serve",
+        static_cast<uint64_t>(src) << 32 | static_cast<uint32_t>(proc));
     // Explicit span: the procedure body suspends on the CPU resource.
     obs::SpanId span = obs::kNoSpan;
     if (obs::TraceRecorder::on()) {

@@ -87,7 +87,7 @@ NameClerk::addPeer(net::NodeId node)
 // ----------------------------------------------------------------------
 
 sim::Task<util::Result<rmem::ImportedSegment>>
-NameClerk::exportByName(mem::Process &owner, mem::Vaddr base, uint32_t size,
+NameClerk::exportByName(mem::Process *owner, mem::Vaddr base, uint32_t size,
                         rmem::Rights rights, rmem::NotifyPolicy policy,
                         std::string name)
 {
@@ -102,7 +102,7 @@ NameClerk::exportByName(mem::Process &owner, mem::Vaddr base, uint32_t size,
     co_await cpu.use(params_.costs.kernelCall, sim::CpuCategory::kOther);
 
     // Kernel: descriptor slot, generation, page pinning.
-    auto handle = engine_.exportSegment(owner, base, size, rights, policy,
+    auto handle = engine_.exportSegment(*owner, base, size, rights, policy,
                                         name);
     if (!handle.ok()) {
         co_return handle.status();
@@ -138,6 +138,7 @@ NameClerk::import(std::string name, std::optional<net::NodeId> hint,
 {
     ProbePolicy policy = policyOverride.value_or(params_.policy);
     stats_.importsServed.inc();
+    engine_.node().simulator().noteDigest("names.import", name);
     auto &cpu = engine_.node().cpu();
 
     co_await cpu.use(params_.costs.kernelCall, sim::CpuCategory::kOther);

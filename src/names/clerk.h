@@ -141,9 +141,14 @@ class NameClerk
      * Export @p owner's range under @p name (ADDNAME path): kernel
      * call, descriptor + generation assignment, page pinning, local RPC
      * to the clerk, registry insertion.
+     *
+     * @p owner is a pointer, not a reference: the coroutine suspends
+     * while it is live, so the caller explicitly vouches that the
+     * process outlives the export (references could silently bind a
+     * temporary; see remora-coroutine-ref-param).
      */
     sim::Task<util::Result<rmem::ImportedSegment>> exportByName(
-        mem::Process &owner, mem::Vaddr base, uint32_t size,
+        mem::Process *owner, mem::Vaddr base, uint32_t size,
         rmem::Rights rights, rmem::NotifyPolicy policy,
         std::string name);
 

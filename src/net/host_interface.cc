@@ -80,6 +80,8 @@ HostInterface::acceptCell(const Cell &cell)
     }
     rxFifo_.push_back(cell);
     cellsRx_.inc();
+    sim_.noteDigest("net.rx",
+                    static_cast<uint64_t>(cell.vpi) << 16 | cell.vci);
     if (!interruptPending_ && rxInterrupt_) {
         interruptPending_ = true;
         sim_.schedule(params_.interruptLatency, [this] {

@@ -141,6 +141,7 @@ RmemEngine::write(ImportedSegment dst, uint32_t offset,
                   std::vector<uint8_t> data, bool notify)
 {
     stats_.writesIssued.inc();
+    node_.simulator().noteDigest("rmem.write", dst.node << 8 | dst.descriptor);
     if (!hasRights(dst.rights, Rights::kWrite)) {
         co_return util::Status(util::ErrorCode::kAccessDenied,
                                "import lacks write right");
@@ -199,6 +200,7 @@ RmemEngine::read(ImportedSegment src, uint32_t srcOff, SegmentId dstSeg,
                  sim::Duration timeout)
 {
     stats_.readsIssued.inc();
+    node_.simulator().noteDigest("rmem.read", src.node << 8 | src.descriptor);
     if (!hasRights(src.rights, Rights::kRead)) {
         co_return ReadOutcome{util::Status(util::ErrorCode::kAccessDenied,
                                            "import lacks read right"),
@@ -323,6 +325,7 @@ RmemEngine::cas(ImportedSegment dst, uint32_t offset, uint32_t oldValue,
                 sim::Duration timeout)
 {
     stats_.casIssued.inc();
+    node_.simulator().noteDigest("rmem.cas", dst.node << 8 | dst.descriptor);
     if (!hasRights(dst.rights, Rights::kCas)) {
         co_return CasOutcome{util::Status(util::ErrorCode::kAccessDenied,
                                           "import lacks CAS right"),

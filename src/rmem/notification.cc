@@ -103,8 +103,7 @@ NotificationChannel::wakeConsumers()
 }
 
 sim::Task<size_t>
-ChannelSelector::selectAny(sim::Simulator &sim,
-                           const std::vector<NotificationChannel *> &channels)
+ChannelSelector::selectAny(std::vector<NotificationChannel *> channels)
 {
     REMORA_ASSERT(!channels.empty());
     for (size_t i = 0; i < channels.size(); ++i) {
@@ -113,7 +112,7 @@ ChannelSelector::selectAny(sim::Simulator &sim,
         }
     }
 
-    sim::Promise<size_t> winner(sim);
+    sim::Promise<size_t> winner(channels.front()->simulator());
     auto fired = std::make_shared<bool>(false);
     for (size_t i = 0; i < channels.size(); ++i) {
         channels[i]->watchOnce([fired, winner, i]() mutable {

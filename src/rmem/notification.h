@@ -108,6 +108,9 @@ class NotificationChannel
     /** Total notifications delivered through this channel. */
     uint64_t delivered() const { return delivered_; }
 
+    /** The owning node's simulator (wakeups order through its queue). */
+    sim::Simulator &simulator() { return cpu_.simulator(); }
+
   private:
     /** Wake the blocked reader / watchers after the dispatch cost. */
     void wakeConsumers();
@@ -132,13 +135,15 @@ class ChannelSelector
     /**
      * Wait for any of @p channels to become readable.
      *
-     * @param sim Simulator (for deterministic wakeup ordering).
-     * @param channels The polled set; must outlive the wait.
+     * The set is taken by value: the coroutine frame keeps its own copy
+     * across suspension, so callers may pass temporaries. The pointed-to
+     * channels must outlive the wait.
+     *
+     * @param channels The polled set (non-empty, same node).
      * @return Index into @p channels of a readable channel.
      */
-    static sim::Task<size_t> selectAny(
-        sim::Simulator &sim,
-        const std::vector<NotificationChannel *> &channels);
+    static sim::Task<size_t>
+    selectAny(std::vector<NotificationChannel *> channels);
 };
 
 } // namespace remora::rmem

@@ -37,6 +37,7 @@ RpcTransport::call(net::NodeId dst, uint32_t proc, std::vector<uint8_t> args,
     stats_.callsIssued.inc();
     auto &cpu = wire_.node().cpu();
     auto &sim = wire_.node().simulator();
+    sim.noteDigest("rpc.call", static_cast<uint64_t>(dst) << 32 | proc);
 
     // Step 1: block the client thread and reschedule its processor.
     co_await cpu.use(costs_.clientBlock, sim::CpuCategory::kControlTransfer);

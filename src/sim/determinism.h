@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The determinism digest: a running hash of everything the simulator
+ * does, so two runs of the same workload can be proven bit-identical.
+ *
+ * The static side of this property is enforced by remora-lint (no
+ * wall-clock, no platform randomness, no coroutine parameters that
+ * dangle across suspension); the digest is the dynamic backstop. The
+ * Simulator folds every scheduled, executed, and cancelled event into
+ * an FNV-1a hash as it happens, and components fold in their own
+ * (time, kind, actor) records at protocol-level milestones via
+ * Simulator::noteDigest(). Any divergence between two runs — a
+ * reordered wakeup, an extra retry, a different random draw — yields a
+ * different digest, so a test can assert replay equality with one
+ * integer compare instead of diffing traces.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace remora::sim {
+
+/** Running FNV-1a (64-bit) accumulator over simulation activity. */
+class DeterminismDigest
+{
+  public:
+    /** FNV-1a 64-bit offset basis / prime. */
+    static constexpr uint64_t kOffset = 14695981039346656037ull;
+    static constexpr uint64_t kPrime = 1099511628211ull;
+
+    /** Fold one byte. */
+    void
+    mixByte(uint8_t b)
+    {
+        hash_ = (hash_ ^ b) * kPrime;
+        ++records_;
+    }
+
+    /** Fold a 64-bit value, little-endian byte order. */
+    void
+    mixU64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            hash_ = (hash_ ^ (v & 0xffu)) * kPrime;
+            v >>= 8;
+        }
+        ++records_;
+    }
+
+    /** Fold a string (kind tags, actor names). */
+    void
+    mix(std::string_view s)
+    {
+        for (char c : s) {
+            hash_ = (hash_ ^ static_cast<uint8_t>(c)) * kPrime;
+        }
+        ++records_;
+    }
+
+    /** Fold one (time, kind, actor) record. */
+    void
+    mixRecord(int64_t time, std::string_view kind, uint64_t actor)
+    {
+        mixU64(static_cast<uint64_t>(time));
+        mix(kind);
+        mixU64(actor);
+    }
+
+    /** The digest so far. */
+    uint64_t value() const { return hash_; }
+
+    /** Number of records folded in (diagnostic; not part of the hash). */
+    uint64_t records() const { return records_; }
+
+    /** Restart from the offset basis. */
+    void
+    reset()
+    {
+        hash_ = kOffset;
+        records_ = 0;
+    }
+
+  private:
+    uint64_t hash_ = kOffset;
+    uint64_t records_ = 0;
+};
+
+} // namespace remora::sim

@@ -20,6 +20,7 @@ Simulator::scheduleAt(Time when, Callback fn)
     EventId id = nextId_++;
     queue_.push(Entry{when, id});
     callbacks_.emplace(id, std::move(fn));
+    digest_.mixRecord(when, "sched", id);
     return id;
 }
 
@@ -28,7 +29,9 @@ Simulator::cancel(EventId id)
 {
     // The heap entry stays behind as a tombstone; step() skips entries
     // whose callback has been erased.
-    callbacks_.erase(id);
+    if (callbacks_.erase(id) != 0) {
+        digest_.mixRecord(now_, "cancel", id);
+    }
 }
 
 bool
@@ -46,6 +49,7 @@ Simulator::step()
         REMORA_ASSERT(top.when >= now_);
         now_ = top.when;
         ++processed_;
+        digest_.mixRecord(now_, "exec", top.id);
         fn();
         return true;
     }

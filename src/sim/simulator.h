@@ -13,9 +13,11 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/determinism.h"
 #include "sim/time.h"
 
 namespace remora::sim {
@@ -85,6 +87,34 @@ class Simulator
     /** Number of events currently pending (including cancelled ones). */
     size_t pendingEvents() const { return queue_.size(); }
 
+    /**
+     * Fold a component-level (now, kind, actor) record into the
+     * determinism digest. Layers call this at protocol milestones
+     * (op issued, cell delivered, request served) so the digest covers
+     * semantic activity as well as raw event-queue churn.
+     */
+    void
+    noteDigest(std::string_view kind, uint64_t actor)
+    {
+        digest_.mixRecord(now_, kind, actor);
+    }
+
+    /** As above, for string-identified actors (names, files). */
+    void
+    noteDigest(std::string_view kind, std::string_view actor)
+    {
+        digest_.mixU64(static_cast<uint64_t>(now_));
+        digest_.mix(kind);
+        digest_.mix(actor);
+    }
+
+    /**
+     * The running digest of all activity: every schedule/cancel/execute
+     * plus every noteDigest record. Two runs of the same workload must
+     * produce equal values; see tests/test_determinism.cc.
+     */
+    const DeterminismDigest &digest() const { return digest_; }
+
   private:
     struct Entry
     {
@@ -101,6 +131,7 @@ class Simulator
     Time now_ = 0;
     EventId nextId_ = 1;
     uint64_t processed_ = 0;
+    DeterminismDigest digest_;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
     // Callbacks keyed by id; erased on execution or cancellation.
     std::unordered_map<EventId, Callback> callbacks_;

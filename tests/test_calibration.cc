@@ -198,7 +198,7 @@ TEST(CalibrationTable3, ExportImportRevokeLatencies)
 
     mem::Vaddr base = h.user.space().allocRegion(8192);
     sim::Time t0 = sim.now();
-    auto exp = h.clerkA.exportByName(h.user, base, 8192, rmem::Rights::kAll,
+    auto exp = h.clerkA.exportByName(&h.user, base, 8192, rmem::Rights::kAll,
                                      rmem::NotifyPolicy::kConditional,
                                      "cal.seg");
     ASSERT_TRUE(runToCompletion(sim, exp).ok());

@@ -77,24 +77,26 @@ TEST(Integration, FileServiceLocatedThroughNameService)
         putHandle(areas.stat);
         ASSERT_TRUE(pub.space().write(dirBase, w.bytes()).ok());
     }
-    auto expT = names1.exportByName(pub, dirBase, 4096, rmem::Rights::kRead,
+    auto expT = names1.exportByName(&pub, dirBase, 4096, rmem::Rights::kRead,
                                     rmem::NotifyPolicy::kNever, "dfs.areas");
     ASSERT_TRUE(runToCompletion(sim, expT).ok());
 
-    // A client machine bootstraps from the name alone.
-    auto bootstrap = [&sim](names::NameClerk &names, rmem::RmemEngine &eng,
-                            mem::Node &node)
+    // A client machine bootstraps from the name alone. The cluster
+    // objects are handed in as pointers (copied into the coroutine
+    // frame), the tree's idiom for suspension-safe lambda coroutines.
+    auto bootstrap = [](names::NameClerk *names, rmem::RmemEngine *eng,
+                        mem::Node *node)
         -> sim::Task<dfs::ServerAreaHandles> {
-        auto dir = co_await names.import("dfs.areas", 1);
+        auto dir = co_await names->import("dfs.areas", 1);
         REMORA_ASSERT(dir.ok());
-        mem::Process &proc = node.spawnProcess("bootstrap");
+        mem::Process &proc = node->spawnProcess("bootstrap");
         mem::Vaddr scratch = proc.space().allocRegion(4096);
-        auto local = eng.exportSegment(proc, scratch, 4096,
-                                       rmem::Rights::kRead,
-                                       rmem::NotifyPolicy::kNever, "boot");
+        auto local = eng->exportSegment(proc, scratch, 4096,
+                                        rmem::Rights::kRead,
+                                        rmem::NotifyPolicy::kNever, "boot");
         REMORA_ASSERT(local.ok());
-        auto bytes = co_await eng.read(dir.value(), 0,
-                                       local.value().descriptor, 0, 72);
+        auto bytes = co_await eng->read(dir.value(), 0,
+                                        local.value().descriptor, 0, 72);
         REMORA_ASSERT(bytes.status.ok());
         util::ByteReader r(bytes.data);
         auto getHandle = [&r]() {
@@ -117,7 +119,7 @@ TEST(Integration, FileServiceLocatedThroughNameService)
         co_return areas;
     };
 
-    auto boot1 = bootstrap(names2, e1, client1);
+    auto boot1 = bootstrap(&names2, &e1, &client1);
     auto areas1 = runToCompletion(sim, boot1);
 
     // The bootstrapped handles drive a working DX backend.

@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Unit tests for the remora-lint rule engine, driven on fixture sources.
+ *
+ * Every fixture lives in a raw string so the linter's own scrubbing pass
+ * keeps the clean-tree gate (test_lint_clean.cc) from tripping on the
+ * deliberately hazardous code below.
+ */
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+#include "lint.h"
+
+namespace remora::lint {
+namespace {
+
+/** Findings of one rule only, to keep assertions focused. */
+std::vector<Finding>
+only(const std::vector<Finding> &all, Rule rule)
+{
+    std::vector<Finding> out;
+    for (const Finding &f : all) {
+        if (f.rule == rule) {
+            out.push_back(f);
+        }
+    }
+    return out;
+}
+
+/** Options with the include rules off, for coroutine-only fixtures. */
+Options
+coroutineOnly()
+{
+    Options o;
+    o.checkIncludes = false;
+    o.checkNondeterminism = false;
+    return o;
+}
+
+// ----------------------------------------------------------------------
+// Coroutine parameter hazards
+// ----------------------------------------------------------------------
+
+TEST(LintCoroutine, SeededReferenceParameterFixtureIsDetected)
+{
+    // The canonical PR 1 bug shape: a clerk coroutine taking the name by
+    // const reference. The caller's temporary dies at the first
+    // co_await, leaving the frame with a dangling reference.
+    constexpr std::string_view kFixture = R"cc(
+namespace remora::names {
+
+sim::Task<rmem::ImportedSegment>
+NameClerk::import(const std::string &name, net::NodeId serverHint)
+{
+    co_await probe(serverHint);
+    co_return lookup(name);
+}
+
+} // namespace remora::names
+)cc";
+    auto findings = lintSource("fixture.cc", kFixture, coroutineOnly());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, Rule::kCoroutineRefParam);
+    EXPECT_TRUE(ruleIsError(findings[0].rule));
+    // Reported at the parameter, with the fix spelled out.
+    EXPECT_EQ(findings[0].line, 5);
+    EXPECT_NE(findings[0].message.find("NameClerk::import"),
+              std::string::npos);
+    EXPECT_NE(findings[0].message.find("pass by value"), std::string::npos);
+    // The by-value NodeId parameter is not implicated.
+    EXPECT_EQ(findings[0].message.find("serverHint"), std::string::npos);
+}
+
+TEST(LintCoroutine, ValueParametersAreClean)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void>
+publish(std::string name, std::vector<uint8_t> payload, uint32_t flags)
+{
+    co_return;
+}
+)cc";
+    EXPECT_TRUE(lintSource("fixture.cc", kFixture, coroutineOnly()).empty());
+}
+
+TEST(LintCoroutine, StringViewParameterIsError)
+{
+    // string_view is a reference in a trench coat: it views caller
+    // storage even when passed "by value".
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<Status> resolve(std::string_view name);
+)cc";
+    auto findings = lintSource("fixture.cc", kFixture, coroutineOnly());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, Rule::kCoroutineRefParam);
+    EXPECT_NE(findings[0].message.find("string_view"), std::string::npos);
+}
+
+TEST(LintCoroutine, RvalueReferenceParameterIsError)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> consume(std::vector<uint8_t> &&data);
+)cc";
+    auto findings = lintSource("fixture.cc", kFixture, coroutineOnly());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, Rule::kCoroutineRefParam);
+}
+
+TEST(LintCoroutine, NamedFunctionPointerParameterIsAdvisory)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<Result<Handle>> exportByName(mem::Process *owner, uint32_t len);
+)cc";
+    auto findings = lintSource("fixture.cc", kFixture, coroutineOnly());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, Rule::kCoroutinePtrParam);
+    // Advisory, not an error: pointers cannot bind temporaries.
+    EXPECT_FALSE(ruleIsError(findings[0].rule));
+}
+
+TEST(LintCoroutine, LambdaPointerParametersAreExempt)
+{
+    // The tree's sanctioned idiom for detached coroutine lambdas: the
+    // caller must write &object, which cannot name a temporary.
+    constexpr std::string_view kFixture = R"cc(
+auto drive = [](names::NameClerk *self, rmem::RmemEngine *eng,
+                int rounds) -> sim::Task<void> {
+    co_await self->refresh(*eng, rounds);
+};
+)cc";
+    EXPECT_TRUE(lintSource("fixture.cc", kFixture, coroutineOnly()).empty());
+}
+
+TEST(LintCoroutine, LambdaReferenceParameterIsError)
+{
+    constexpr std::string_view kFixture = R"cc(
+auto echo = [](const std::vector<uint8_t> &args) -> sim::Task<void> {
+    co_return;
+};
+)cc";
+    auto findings = lintSource("fixture.cc", kFixture, coroutineOnly());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, Rule::kCoroutineRefParam);
+    EXPECT_NE(findings[0].message.find("lambda coroutine"),
+              std::string::npos);
+}
+
+TEST(LintCoroutine, LambdaWithSpecifiersStillMatches)
+{
+    constexpr std::string_view kFixture = R"cc(
+auto f = [](std::string &s) mutable noexcept -> sim::Task<int> {
+    co_return 0;
+};
+)cc";
+    auto findings = lintSource("fixture.cc", kFixture, coroutineOnly());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, Rule::kCoroutineRefParam);
+}
+
+TEST(LintCoroutine, FunctionTypesAreNotDeclarations)
+{
+    // std::function<Task<...>(...)> spells a signature, not a coroutine;
+    // the handler it stores is checked where it is defined.
+    constexpr std::string_view kFixture = R"cc(
+using Handler =
+    std::function<sim::Task<std::vector<uint8_t>>(net::NodeId,
+                                                  std::vector<uint8_t>)>;
+std::function<sim::Task<void>(const std::string &)> onEvent;
+)cc";
+    EXPECT_TRUE(lintSource("fixture.cc", kFixture, coroutineOnly()).empty());
+}
+
+TEST(LintCoroutine, TaskTemplateItselfIsNotFlagged)
+{
+    constexpr std::string_view kFixture = R"cc(
+template <typename T>
+class Task
+{
+  public:
+    Task(Task &&other) noexcept;
+};
+struct Task;
+sim::Task<void> pending;
+)cc";
+    EXPECT_TRUE(lintSource("fixture.cc", kFixture, coroutineOnly()).empty());
+}
+
+TEST(LintCoroutine, MultiLineParameterReportsItsOwnLine)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void>
+process(uint64_t id,
+        const std::string &name)
+{
+    co_return;
+}
+)cc";
+    auto findings = lintSource("fixture.cc", kFixture, coroutineOnly());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintCoroutine, DefaultArgumentShiftsDoNotConfuseAngleDepth)
+{
+    // The '<<' in the default argument must not open an angle scope and
+    // swallow the rest of the parameter list.
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> grow(uint32_t len = 1 << 12, const Config &cfg = {});
+)cc";
+    auto findings = lintSource("fixture.cc", kFixture, coroutineOnly());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, Rule::kCoroutineRefParam);
+}
+
+// ----------------------------------------------------------------------
+// NOLINT suppression
+// ----------------------------------------------------------------------
+
+TEST(LintSuppression, SameLineNolintWithRuleName)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> f(int &x); // NOLINT(remora-coroutine-ref-param)
+)cc";
+    EXPECT_TRUE(lintSource("fixture.cc", kFixture, coroutineOnly()).empty());
+}
+
+TEST(LintSuppression, NolintNextLine)
+{
+    constexpr std::string_view kFixture = R"cc(
+// NOLINTNEXTLINE(remora-coroutine-ref-param)
+sim::Task<void> f(int &x);
+)cc";
+    EXPECT_TRUE(lintSource("fixture.cc", kFixture, coroutineOnly()).empty());
+}
+
+TEST(LintSuppression, ClangTidyAliasIsAccepted)
+{
+    // One comment must silence both remora-lint and clang-tidy.
+    constexpr std::string_view kFixture = R"cc(
+// NOLINTNEXTLINE(cppcoreguidelines-avoid-reference-coroutine-parameters)
+sim::Task<void> f(int &x);
+)cc";
+    EXPECT_TRUE(lintSource("fixture.cc", kFixture, coroutineOnly()).empty());
+}
+
+TEST(LintSuppression, BareNolintSilencesEverything)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> f(int &x); // NOLINT
+)cc";
+    EXPECT_TRUE(lintSource("fixture.cc", kFixture, coroutineOnly()).empty());
+}
+
+TEST(LintSuppression, UnrelatedRuleNameDoesNotSuppress)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> f(int &x); // NOLINT(remora-nondeterminism)
+)cc";
+    auto findings = lintSource("fixture.cc", kFixture, coroutineOnly());
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, Rule::kCoroutineRefParam);
+}
+
+TEST(LintSuppression, CertAliasSuppressesNondeterminism)
+{
+    constexpr std::string_view kFixture = R"cc(
+int seed() { return std::rand(); } // NOLINT(cert-msc50-cpp)
+)cc";
+    Options o;
+    o.checkIncludes = false;
+    EXPECT_TRUE(lintSource("fixture.cc", kFixture, o).empty());
+}
+
+// ----------------------------------------------------------------------
+// Nondeterminism sources
+// ----------------------------------------------------------------------
+
+TEST(LintNondeterminism, BannedSourcesAreFlagged)
+{
+    constexpr std::string_view kFixture = R"cc(
+void jitter()
+{
+    std::srand(42);
+    int x = std::rand();
+    time_t t = time(nullptr);
+    auto n = std::chrono::system_clock::now();
+    auto h = std::chrono::high_resolution_clock::now();
+    std::random_device rd;
+    gettimeofday(&tv, nullptr);
+}
+)cc";
+    Options o;
+    o.checkIncludes = false;
+    auto findings = only(lintSource("fixture.cc", kFixture, o),
+                         Rule::kNondeterminism);
+    EXPECT_EQ(findings.size(), 7u);
+    for (const Finding &f : findings) {
+        EXPECT_TRUE(ruleIsError(f.rule));
+    }
+}
+
+TEST(LintNondeterminism, RandomDeviceAllowedInSanctionedFile)
+{
+    constexpr std::string_view kFixture = R"cc(
+uint64_t entropySeed()
+{
+    std::random_device rd;
+    return rd();
+}
+)cc";
+    Options o;
+    o.checkIncludes = false;
+    ASSERT_EQ(lintSource("fixture.cc", kFixture, o).size(), 1u);
+    o.allowRandomDevice = true;
+    EXPECT_TRUE(lintSource("fixture.cc", kFixture, o).empty());
+}
+
+TEST(LintNondeterminism, ProjectApiNamesAreNotLibcCalls)
+{
+    // Member access and non-call uses must not trip the token matcher.
+    constexpr std::string_view kFixture = R"cc(
+void ok(Rng &rng, Clock *clock)
+{
+    rng.rand();
+    clock->time(nullptr);
+    int rand = 5;
+    auto t = file.time();
+}
+)cc";
+    Options o;
+    o.checkIncludes = false;
+    EXPECT_TRUE(lintSource("fixture.cc", kFixture, o).empty());
+}
+
+TEST(LintNondeterminism, TimeWithRealArgumentIsNotWallClockIdiom)
+{
+    constexpr std::string_view kFixture = R"cc(
+void ok(Event e) { schedule(e.time(deadline)); }
+)cc";
+    Options o;
+    o.checkIncludes = false;
+    EXPECT_TRUE(lintSource("fixture.cc", kFixture, o).empty());
+}
+
+// ----------------------------------------------------------------------
+// Include hygiene
+// ----------------------------------------------------------------------
+
+TEST(LintIncludes, RelativeAndUnprefixedIncludesAreFlagged)
+{
+    constexpr std::string_view kFixture = R"cc(
+#include "../util/panic.h"
+#include "./local.h"
+#include "sim/../util/hash.h"
+#include "panic.h"
+#include "sim/task.h"
+#include <vector>
+)cc";
+    auto findings = only(lintSource("fixture.cc", kFixture),
+                         Rule::kIncludeHygiene);
+    ASSERT_EQ(findings.size(), 4u);
+    EXPECT_NE(findings[0].message.find("relative include"),
+              std::string::npos);
+    EXPECT_NE(findings[3].message.find("module prefix"), std::string::npos);
+}
+
+TEST(LintIncludes, ModulePrefixRequirementCanBeWaived)
+{
+    constexpr std::string_view kFixture = R"cc(
+#include "cluster_fixture.h"
+)cc";
+    Options o;
+    o.requireModulePrefix = false;
+    EXPECT_TRUE(lintSource("fixture.cc", kFixture, o).empty());
+    ASSERT_EQ(lintSource("fixture.cc", kFixture).size(), 1u);
+}
+
+// ----------------------------------------------------------------------
+// Per-path policy and plumbing
+// ----------------------------------------------------------------------
+
+TEST(LintPolicy, OptionsForPathAppliesLocationExemptions)
+{
+    EXPECT_TRUE(optionsForPath("src/rmem/engine.cc").requireModulePrefix);
+    EXPECT_FALSE(optionsForPath("src/rmem/engine.cc").allowRandomDevice);
+    EXPECT_FALSE(optionsForPath("tests/test_names.cc").requireModulePrefix);
+    EXPECT_TRUE(optionsForPath("src/sim/random.cc").allowRandomDevice);
+    EXPECT_TRUE(optionsForPath("src/sim/random.h").allowRandomDevice);
+}
+
+TEST(LintPolicy, ShouldLintSelectsCxxSources)
+{
+    EXPECT_TRUE(shouldLint("src/sim/task.h"));
+    EXPECT_TRUE(shouldLint("src/rmem/engine.cc"));
+    EXPECT_TRUE(shouldLint("examples/quickstart.cpp"));
+    EXPECT_FALSE(shouldLint("README.md"));
+    EXPECT_FALSE(shouldLint("tests/CMakeLists.txt"));
+    EXPECT_FALSE(shouldLint("scripts/check.sh"));
+}
+
+TEST(LintPolicy, FindingFormatIsFileLineRuleMessage)
+{
+    Finding f{Rule::kCoroutineRefParam, "src/x.cc", 12, "boom"};
+    EXPECT_EQ(f.format(), "src/x.cc:12: [remora-coroutine-ref-param] boom");
+}
+
+TEST(LintPolicy, EveryRuleHasAStableName)
+{
+    EXPECT_STREQ(ruleName(Rule::kCoroutineRefParam),
+                 "remora-coroutine-ref-param");
+    EXPECT_STREQ(ruleName(Rule::kCoroutinePtrParam),
+                 "remora-coroutine-ptr-param");
+    EXPECT_STREQ(ruleName(Rule::kNondeterminism), "remora-nondeterminism");
+    EXPECT_STREQ(ruleName(Rule::kIncludeHygiene), "remora-include-hygiene");
+}
+
+TEST(LintPolicy, HazardsInsideCommentsAndStringsAreIgnored)
+{
+    constexpr std::string_view kFixture = R"cc(
+// sim::Task<void> f(int &x); and std::rand() in a comment
+/* time(nullptr) in a block comment */
+const char *doc = "call std::rand() and time(nullptr) here";
+)cc";
+    EXPECT_TRUE(lintSource("fixture.cc", kFixture).empty());
+}
+
+} // namespace
+} // namespace remora::lint

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The tier-1 lint gate: run remora-lint over the real tree (src/ and
+ * tests/) and fail if any error-severity finding appears. This is the
+ * same pass `scripts/check.sh --lint` runs, wired into ctest so a
+ * hazardous coroutine signature or a wall-clock call fails the build
+ * even when nobody remembers to run the script.
+ *
+ * REMORA_SOURCE_DIR is injected by tests/CMakeLists.txt so the gate
+ * works from any build directory.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace remora::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+readFile(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(LintClean, TreeHasNoErrorSeverityFindings)
+{
+    const fs::path root(REMORA_SOURCE_DIR);
+    ASSERT_TRUE(fs::exists(root / "src"))
+        << "REMORA_SOURCE_DIR does not point at the repo: " << root;
+
+    size_t scanned = 0;
+    std::vector<std::string> errors;
+    for (const char *top : {"src", "tests"}) {
+        for (const auto &entry :
+             fs::recursive_directory_iterator(root / top)) {
+            if (!entry.is_regular_file()) {
+                continue;
+            }
+            std::string rel =
+                fs::relative(entry.path(), root).generic_string();
+            if (!shouldLint(rel)) {
+                continue;
+            }
+            ++scanned;
+            auto findings =
+                lintSource(rel, readFile(entry.path()), optionsForPath(rel));
+            for (const Finding &f : findings) {
+                if (ruleIsError(f.rule)) {
+                    errors.push_back(f.format());
+                }
+            }
+        }
+    }
+
+    // Guard against silently scanning nothing (wrong root, renamed
+    // directories): the tree is far larger than this floor.
+    EXPECT_GT(scanned, 100u);
+
+    std::ostringstream report;
+    for (const std::string &e : errors) {
+        report << "  " << e << "\n";
+    }
+    EXPECT_TRUE(errors.empty())
+        << errors.size() << " lint error(s) in the tree:\n"
+        << report.str();
+}
+
+} // namespace
+} // namespace remora::lint

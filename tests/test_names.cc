@@ -87,7 +87,7 @@ struct NamesFixture
     exportOnA(const std::string &name, uint32_t size = 4096)
     {
         mem::Vaddr base = userA.space().allocRegion(size);
-        auto t = clerkA.exportByName(userA, base, size, rmem::Rights::kAll,
+        auto t = clerkA.exportByName(&userA, base, size, rmem::Rights::kAll,
                                      rmem::NotifyPolicy::kConditional, name);
         return runToCompletion(cluster.sim, t);
     }
@@ -250,7 +250,7 @@ TEST(NameClerk, CollisionsResolveByProbing)
     // Export six names into eight buckets: collisions guaranteed often.
     for (int i = 0; i < 6; ++i) {
         mem::Vaddr base = user.space().allocRegion(4096);
-        auto t = clerkA.exportByName(user, base, 4096, rmem::Rights::kAll,
+        auto t = clerkA.exportByName(&user, base, 4096, rmem::Rights::kAll,
                                      rmem::NotifyPolicy::kNever,
                                      "n" + std::to_string(i));
         ASSERT_TRUE(runToCompletion(sim, t).ok());
@@ -309,7 +309,7 @@ TEST(NameClerk, ProbeThenControlFallsBackAfterBudget)
     mem::Process &user = a.spawnProcess("user");
     for (int i = 0; i < 4; ++i) {
         mem::Vaddr base = user.space().allocRegion(4096);
-        auto t = clerkA.exportByName(user, base, 4096, rmem::Rights::kAll,
+        auto t = clerkA.exportByName(&user, base, 4096, rmem::Rights::kAll,
                                      rmem::NotifyPolicy::kNever,
                                      "f" + std::to_string(i));
         ASSERT_TRUE(runToCompletion(sim, t).ok());
@@ -340,7 +340,7 @@ TEST(NameClerk, RegistryFullReportsResource)
     util::Status last;
     for (int i = 0; i < 3; ++i) {
         mem::Vaddr base = user.space().allocRegion(4096);
-        auto t = clerkA.exportByName(user, base, 4096, rmem::Rights::kAll,
+        auto t = clerkA.exportByName(&user, base, 4096, rmem::Rights::kAll,
                                      rmem::NotifyPolicy::kNever,
                                      "r" + std::to_string(i));
         last = runToCompletion(sim, t).status();

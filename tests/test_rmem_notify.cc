@@ -103,7 +103,7 @@ TEST(Notification, SelectAcrossChannels)
     auto *ch2 = c.engineB.channel(seg2.descriptor);
 
     // Select before anything is readable; a write to seg2 resolves it.
-    auto sel = rmem::ChannelSelector::selectAny(c.sim, {ch1, ch2});
+    auto sel = rmem::ChannelSelector::selectAny({ch1, ch2});
     EXPECT_FALSE(sel.done());
     auto w = c.engineA.write(seg2, 0, {9}, true);
     runToCompletion(c.sim, w);
@@ -112,7 +112,7 @@ TEST(Notification, SelectAcrossChannels)
     EXPECT_EQ(sel.result(), 1u);
 
     // Select with an already-readable channel resolves immediately.
-    auto sel2 = rmem::ChannelSelector::selectAny(c.sim, {ch1, ch2});
+    auto sel2 = rmem::ChannelSelector::selectAny({ch1, ch2});
     ASSERT_TRUE(sel2.done());
     EXPECT_EQ(sel2.result(), 1u);
 }

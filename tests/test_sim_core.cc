@@ -136,9 +136,9 @@ immediateTask()
 }
 
 Task<int>
-delayedTask(Simulator &sim, Duration d)
+delayedTask(Simulator *sim, Duration d)
 {
-    co_await delay(sim, d);
+    co_await delay(*sim, d);
     co_return 7;
 }
 
@@ -152,7 +152,7 @@ TEST(Task, EagerStartCompletesImmediately)
 TEST(Task, DelaySuspendsUntilSimTime)
 {
     Simulator sim;
-    auto t = delayedTask(sim, usec(10));
+    auto t = delayedTask(&sim, usec(10));
     EXPECT_FALSE(t.done());
     sim.run();
     EXPECT_TRUE(t.done());
@@ -161,7 +161,7 @@ TEST(Task, DelaySuspendsUntilSimTime)
 }
 
 Task<int>
-nestedTask(Simulator &sim)
+nestedTask(Simulator *sim)
 {
     int a = co_await delayedTask(sim, usec(5));
     int b = co_await delayedTask(sim, usec(5));
@@ -171,7 +171,7 @@ nestedTask(Simulator &sim)
 TEST(Task, AwaitingSubTasksComposes)
 {
     Simulator sim;
-    auto t = nestedTask(sim);
+    auto t = nestedTask(&sim);
     sim.run();
     ASSERT_TRUE(t.done());
     EXPECT_EQ(t.result(), 14);
@@ -179,14 +179,14 @@ TEST(Task, AwaitingSubTasksComposes)
 }
 
 Task<void>
-throwingTask(Simulator &sim)
+throwingTask(Simulator *sim)
 {
-    co_await delay(sim, 1);
+    co_await delay(*sim, 1);
     throw std::runtime_error("boom");
 }
 
 Task<bool>
-catchingTask(Simulator &sim)
+catchingTask(Simulator *sim)
 {
     try {
         co_await throwingTask(sim);
@@ -199,7 +199,7 @@ catchingTask(Simulator &sim)
 TEST(Task, ExceptionsPropagateThroughAwait)
 {
     Simulator sim;
-    auto t = catchingTask(sim);
+    auto t = catchingTask(&sim);
     sim.run();
     ASSERT_TRUE(t.done());
     EXPECT_TRUE(t.result());
@@ -224,7 +224,7 @@ TEST(Task, DetachedTaskRunsToCompletion)
 TEST(Task, MoveTransfersOwnership)
 {
     Simulator sim;
-    auto t1 = delayedTask(sim, usec(1));
+    auto t1 = delayedTask(&sim, usec(1));
     Task<int> t2 = std::move(t1);
     sim.run();
     ASSERT_TRUE(t2.done());

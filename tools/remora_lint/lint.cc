@@ -1,0 +1,708 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace remora::lint {
+
+namespace {
+
+// ----------------------------------------------------------------------
+// Rule metadata
+// ----------------------------------------------------------------------
+
+/** clang-tidy check names accepted as NOLINT aliases for each rule. */
+const char *const kRefParamAliases[] = {
+    "cppcoreguidelines-avoid-reference-coroutine-parameters",
+};
+const char *const kNondetAliases[] = {
+    "cert-msc50-cpp",
+    "cert-msc51-cpp",
+};
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// ----------------------------------------------------------------------
+// Phase 1: scrub comments and string/char literals
+// ----------------------------------------------------------------------
+
+/**
+ * Output of the scrubbing pass: source text with comment bodies and
+ * string/char-literal contents blanked (same length, newlines kept) so
+ * later passes never match inside them, plus the NOLINT suppressions
+ * harvested from the comments. Include-path strings survive scrubbing
+ * because the include rules need them.
+ */
+struct Scrubbed
+{
+    std::string text;
+    /** line -> suppressed check names; empty set means "all checks". */
+    std::map<int, std::set<std::string>> lineSupp;
+};
+
+/** Parse one NOLINT/NOLINTNEXTLINE occurrence inside a comment. */
+void
+harvestNolint(std::string_view comment, int line, Scrubbed &out)
+{
+    size_t pos = 0;
+    while ((pos = comment.find("NOLINT", pos)) != std::string_view::npos) {
+        size_t cur = pos + 6;
+        int target = line;
+        if (comment.compare(pos, 14, "NOLINTNEXTLINE") == 0) {
+            cur = pos + 14;
+            target = line + 1;
+        }
+        std::set<std::string> checks; // empty == suppress everything
+        if (cur < comment.size() && comment[cur] == '(') {
+            size_t close = comment.find(')', cur);
+            if (close != std::string_view::npos) {
+                std::string list(comment.substr(cur + 1, close - cur - 1));
+                std::string item;
+                std::istringstream ss(list);
+                while (std::getline(ss, item, ',')) {
+                    item.erase(std::remove_if(item.begin(), item.end(),
+                                              [](char c) {
+                                                  return std::isspace(
+                                                      static_cast<
+                                                          unsigned char>(c));
+                                              }),
+                               item.end());
+                    if (!item.empty()) {
+                        checks.insert(item);
+                    }
+                }
+                cur = close + 1;
+            }
+        }
+        auto &slot = out.lineSupp[target];
+        if (checks.empty()) {
+            slot.clear();
+            slot.insert("*");
+        } else if (slot.find("*") == slot.end()) {
+            slot.insert(checks.begin(), checks.end());
+        }
+        pos = cur;
+    }
+}
+
+/** True when the text of @p line so far is just "#include" (plus space). */
+bool
+lineIsIncludeDirective(const std::string &text, size_t stringStart)
+{
+    size_t lineStart = text.rfind('\n', stringStart);
+    lineStart = lineStart == std::string::npos ? 0 : lineStart + 1;
+    std::string prefix = text.substr(lineStart, stringStart - lineStart);
+    prefix.erase(std::remove_if(prefix.begin(), prefix.end(),
+                                [](char c) {
+                                    return std::isspace(
+                                        static_cast<unsigned char>(c));
+                                }),
+                 prefix.end());
+    return prefix == "#include" || prefix == "#include_next";
+}
+
+Scrubbed
+scrub(std::string_view src)
+{
+    Scrubbed out;
+    out.text.assign(src.begin(), src.end());
+    std::string &t = out.text;
+    int line = 1;
+    size_t i = 0;
+    auto blank = [&t](size_t from, size_t to) {
+        for (size_t k = from; k < to && k < t.size(); ++k) {
+            if (t[k] != '\n') {
+                t[k] = ' ';
+            }
+        }
+    };
+    while (i < t.size()) {
+        char c = t[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+        } else if (c == '/' && i + 1 < t.size() && t[i + 1] == '/') {
+            size_t end = t.find('\n', i);
+            end = end == std::string::npos ? t.size() : end;
+            harvestNolint(std::string_view(t).substr(i, end - i), line, out);
+            blank(i, end);
+            i = end;
+        } else if (c == '/' && i + 1 < t.size() && t[i + 1] == '*') {
+            size_t end = t.find("*/", i + 2);
+            end = end == std::string::npos ? t.size() : end + 2;
+            // Block comments suppress relative to their starting line.
+            harvestNolint(std::string_view(t).substr(i, end - i), line, out);
+            for (size_t k = i; k < end; ++k) {
+                if (t[k] == '\n') {
+                    ++line;
+                }
+            }
+            blank(i, end);
+            i = end;
+        } else if (c == 'R' && i + 1 < t.size() && t[i + 1] == '"') {
+            // Raw string literal: R"delim( ... )delim".
+            size_t open = t.find('(', i + 2);
+            if (open == std::string::npos) {
+                ++i;
+                continue;
+            }
+            std::string delim = ")" + t.substr(i + 2, open - i - 2) + "\"";
+            size_t end = t.find(delim, open + 1);
+            end = end == std::string::npos ? t.size() : end + delim.size();
+            for (size_t k = i; k < end; ++k) {
+                if (t[k] == '\n') {
+                    ++line;
+                }
+            }
+            blank(i, end);
+            i = end;
+        } else if (c == '"') {
+            size_t start = i;
+            size_t j = i + 1;
+            while (j < t.size() && t[j] != '"' && t[j] != '\n') {
+                if (t[j] == '\\') {
+                    ++j;
+                }
+                ++j;
+            }
+            j = j < t.size() ? j + 1 : j;
+            if (!lineIsIncludeDirective(t, start)) {
+                blank(start + 1, j - 1);
+            }
+            i = j;
+        } else if (c == '\'') {
+            size_t j = i + 1;
+            while (j < t.size() && t[j] != '\'' && t[j] != '\n') {
+                if (t[j] == '\\') {
+                    ++j;
+                }
+                ++j;
+            }
+            j = j < t.size() ? j + 1 : j;
+            blank(i + 1, j - 1);
+            i = j;
+        } else {
+            ++i;
+        }
+    }
+    return out;
+}
+
+bool
+isSuppressed(const Scrubbed &s, int line, Rule rule)
+{
+    auto it = s.lineSupp.find(line);
+    if (it == s.lineSupp.end()) {
+        return false;
+    }
+    const std::set<std::string> &checks = it->second;
+    if (checks.count("*") != 0 || checks.count(ruleName(rule)) != 0) {
+        return true;
+    }
+    if (rule == Rule::kCoroutineRefParam ||
+        rule == Rule::kCoroutinePtrParam) {
+        for (const char *alias : kRefParamAliases) {
+            if (checks.count(alias) != 0) {
+                return true;
+            }
+        }
+    }
+    if (rule == Rule::kNondeterminism) {
+        for (const char *alias : kNondetAliases) {
+            if (checks.count(alias) != 0) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+// ----------------------------------------------------------------------
+// Phase 2: tokenize
+// ----------------------------------------------------------------------
+
+struct Token
+{
+    enum class Kind
+    {
+        kIdent,
+        kPunct,
+    };
+    Kind kind;
+    std::string text;
+    int line;
+
+    bool is(const char *s) const { return text == s; }
+    bool ident() const { return kind == Kind::kIdent; }
+};
+
+std::vector<Token>
+tokenize(const std::string &text)
+{
+    std::vector<Token> toks;
+    int line = 1;
+    size_t i = 0;
+    while (i < text.size()) {
+        char c = text[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+        } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+            ++i;
+        } else if (isIdentChar(c) &&
+                   std::isdigit(static_cast<unsigned char>(c)) == 0) {
+            size_t j = i;
+            while (j < text.size() && isIdentChar(text[j])) {
+                ++j;
+            }
+            toks.push_back({Token::Kind::kIdent, text.substr(i, j - i), line});
+            i = j;
+        } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+            // Numbers (incl. hex/suffixes) collapse to one token.
+            size_t j = i;
+            while (j < text.size() &&
+                   (isIdentChar(text[j]) || text[j] == '.' ||
+                    ((text[j] == '+' || text[j] == '-') && j > i &&
+                     (text[j - 1] == 'e' || text[j - 1] == 'E')))) {
+                ++j;
+            }
+            toks.push_back({Token::Kind::kIdent, text.substr(i, j - i), line});
+            i = j;
+        } else {
+            // Multi-char puncts that matter to the passes below; the
+            // rest lex as single characters.
+            static const char *const kCompound[] = {"::", "->", "<<", ">>"};
+            std::string tok(1, c);
+            for (const char *p : kCompound) {
+                if (text.compare(i, 2, p) == 0) {
+                    tok = p;
+                    break;
+                }
+            }
+            toks.push_back({Token::Kind::kPunct, tok, line});
+            i += tok.size();
+        }
+    }
+    return toks;
+}
+
+// ----------------------------------------------------------------------
+// Phase 3: rule passes
+// ----------------------------------------------------------------------
+
+void
+addFinding(std::vector<Finding> &out, const Scrubbed &s, Rule rule,
+           std::string_view path, int line, std::string msg)
+{
+    if (isSuppressed(s, line, rule)) {
+        return;
+    }
+    out.push_back(Finding{rule, std::string(path), line, std::move(msg)});
+}
+
+/** Include-style checks, run on the scrubbed text line by line. */
+void
+checkIncludes(std::string_view path, const Scrubbed &s, const Options &opts,
+              std::vector<Finding> &out)
+{
+    std::istringstream ss(s.text);
+    std::string rawLine;
+    int line = 0;
+    while (std::getline(ss, rawLine)) {
+        ++line;
+        size_t hash = rawLine.find_first_not_of(" \t");
+        if (hash == std::string::npos || rawLine[hash] != '#') {
+            continue;
+        }
+        size_t kw = rawLine.find_first_not_of(" \t", hash + 1);
+        if (kw == std::string::npos ||
+            rawLine.compare(kw, 7, "include") != 0) {
+            continue;
+        }
+        size_t open = rawLine.find('"', kw + 7);
+        if (open == std::string::npos) {
+            continue; // angle includes are system headers; out of scope
+        }
+        size_t close = rawLine.find('"', open + 1);
+        if (close == std::string::npos) {
+            continue;
+        }
+        std::string inc = rawLine.substr(open + 1, close - open - 1);
+        if (inc.rfind("../", 0) == 0 || inc.rfind("./", 0) == 0 ||
+            inc.find("/../") != std::string::npos) {
+            addFinding(out, s, Rule::kIncludeHygiene, path, line,
+                       "relative include \"" + inc +
+                           "\"; include from the source root instead");
+        } else if (opts.requireModulePrefix &&
+                   inc.find('/') == std::string::npos) {
+            addFinding(out, s, Rule::kIncludeHygiene, path, line,
+                       "include \"" + inc +
+                           "\" lacks its module prefix (write "
+                           "\"<module>/" +
+                           inc + "\")");
+        }
+    }
+}
+
+/** Banned-nondeterminism pass over the token stream. */
+void
+checkNondeterminism(std::string_view path, const Scrubbed &s,
+                    const std::vector<Token> &toks, const Options &opts,
+                    std::vector<Finding> &out)
+{
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (!t.ident()) {
+            continue;
+        }
+        // Member accesses (x.rand(), p->time()) are project API, not libc.
+        bool member = i > 0 && (toks[i - 1].is(".") || toks[i - 1].is("->"));
+        if (member) {
+            continue;
+        }
+        auto nextIs = [&](size_t k, const char *txt) {
+            return i + k < toks.size() && toks[i + k].is(txt);
+        };
+        if ((t.is("rand") || t.is("srand")) && nextIs(1, "(")) {
+            addFinding(out, s, Rule::kNondeterminism, path, t.line,
+                       t.text + "() is nondeterministic; use sim::Random");
+        } else if (t.is("time") && nextIs(1, "(") &&
+                   (nextIs(2, "nullptr") || nextIs(2, "NULL") ||
+                    nextIs(2, "0"))) {
+            addFinding(out, s, Rule::kNondeterminism, path, t.line,
+                       "time(" + toks[i + 2].text +
+                           ") reads the wall clock; use Simulator::now()");
+        } else if (t.is("system_clock") || t.is("high_resolution_clock")) {
+            addFinding(out, s, Rule::kNondeterminism, path, t.line,
+                       "std::chrono::" + t.text +
+                           " reads the wall clock; use Simulator::now()");
+        } else if (t.is("gettimeofday") || t.is("clock_gettime")) {
+            addFinding(out, s, Rule::kNondeterminism, path, t.line,
+                       t.text + "() reads the wall clock; use "
+                                "Simulator::now()");
+        } else if (t.is("random_device") && !opts.allowRandomDevice) {
+            addFinding(out, s, Rule::kNondeterminism, path, t.line,
+                       "std::random_device is nondeterministic; seed "
+                       "sim::Random explicitly (sanctioned only in "
+                       "sim/random)");
+        }
+    }
+}
+
+/**
+ * One parameter's token span, classified. Depth tracking: parens and
+ * brackets nest normally; '<' opens an angle scope, '>' closes one, and
+ * '>>' closes two when an angle scope is open (otherwise it is a shift
+ * in a default argument and ignored, as is '<<').
+ */
+struct ParamScan
+{
+    bool topLevelRef = false;
+    bool topLevelPtr = false;
+    bool stringView = false;
+    int firstLine = 0;
+    std::string text;
+};
+
+/** Scan params between '(' at @p open and its match; return one entry per
+ *  comma-separated parameter and the index of the closing ')'. */
+std::vector<ParamScan>
+scanParams(const std::vector<Token> &toks, size_t open, size_t *closeOut)
+{
+    std::vector<ParamScan> params;
+    ParamScan cur;
+    int paren = 0;
+    int angle = 0;
+    int bracket = 0;
+    size_t i = open;
+    for (; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        bool top = paren == 1 && angle == 0 && bracket == 0;
+        if (t.is("(")) {
+            ++paren;
+            if (paren == 1) {
+                continue;
+            }
+        } else if (t.is(")")) {
+            --paren;
+            if (paren == 0) {
+                break;
+            }
+        } else if (t.is("[")) {
+            ++bracket;
+        } else if (t.is("]")) {
+            --bracket;
+        } else if (t.is("<")) {
+            ++angle;
+        } else if (t.is(">") && angle > 0) {
+            --angle;
+        } else if (t.is(">>") && angle > 0) {
+            angle -= 2;
+            angle = angle < 0 ? 0 : angle;
+        } else if (t.is(",") && top) {
+            params.push_back(cur);
+            cur = ParamScan{};
+            continue;
+        }
+        if (cur.firstLine == 0) {
+            cur.firstLine = t.line;
+        }
+        if (top && (t.is("&") || t.is("&&"))) {
+            cur.topLevelRef = true;
+        }
+        if (top && t.is("*")) {
+            cur.topLevelPtr = true;
+        }
+        if (t.ident() && t.is("string_view")) {
+            cur.stringView = true;
+        }
+        if (t.ident() || t.is("::") || t.is("&") || t.is("&&") ||
+            t.is("*") || t.is("<") || t.is(">") || t.is(">>")) {
+            if (!cur.text.empty() && t.ident() &&
+                isIdentChar(cur.text.back())) {
+                cur.text += ' ';
+            }
+            cur.text += t.text;
+        }
+    }
+    if (cur.firstLine != 0) {
+        params.push_back(cur);
+    }
+    if (closeOut != nullptr) {
+        *closeOut = i;
+    }
+    return params;
+}
+
+/**
+ * The coroutine-parameter pass.
+ *
+ * Recognizes two shapes around every `Task<...>` return type:
+ *
+ *   [qual ::] Task < args > name [:: name]* ( params )     named function
+ *   ( params ) [mutable noexcept]* -> [qual ::] Task < args >   lambda
+ *
+ * `std::function<Task<...>( ... )>` signature types — '(' directly after
+ * the closing '>' — are types, not coroutine declarations, and skipped.
+ */
+void
+checkCoroutineParams(std::string_view path, const Scrubbed &s,
+                     const std::vector<Token> &toks,
+                     std::vector<Finding> &out)
+{
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (!toks[i].ident() || !toks[i].is("Task") ||
+            i + 1 >= toks.size() || !toks[i + 1].is("<")) {
+            continue;
+        }
+        // Skip the template machinery's own mentions (template<> class
+        // Task; using/typedef aliases are still scanned downstream).
+        if (i > 0 && (toks[i - 1].is("class") || toks[i - 1].is("struct"))) {
+            continue;
+        }
+        // Skip the Task<...> template argument list.
+        size_t j = i + 2;
+        int depth = 1;
+        while (j < toks.size() && depth > 0) {
+            if (toks[j].is("<")) {
+                ++depth;
+            } else if (toks[j].is(">")) {
+                --depth;
+            } else if (toks[j].is(">>")) {
+                depth -= 2;
+            }
+            ++j;
+        }
+        if (j >= toks.size()) {
+            continue;
+        }
+
+        bool isLambda = false;
+        std::string declName;
+        std::vector<ParamScan> params;
+        int declLine = toks[i].line;
+
+        // Lambda shape: walk back over the return-type qualifiers to
+        // `->`, then over the specifier list to ')', then match '('.
+        size_t back = i;
+        while (back >= 2 && toks[back - 1].is("::") &&
+               toks[back - 2].ident()) {
+            back -= 2;
+        }
+        if (back >= 1 && toks[back - 1].is("->")) {
+            size_t r = back - 1;
+            while (r > 0 && toks[r - 1].ident()) {
+                --r; // mutable / noexcept / constexpr
+            }
+            if (r > 0 && toks[r - 1].is(")")) {
+                // Walk back to the matching '('.
+                int d = 0;
+                size_t p = r - 1;
+                while (true) {
+                    if (toks[p].is(")")) {
+                        ++d;
+                    } else if (toks[p].is("(")) {
+                        --d;
+                        if (d == 0) {
+                            break;
+                        }
+                    }
+                    if (p == 0) {
+                        break;
+                    }
+                    --p;
+                }
+                if (d == 0 && toks[p].is("(")) {
+                    isLambda = true;
+                    declName = "lambda coroutine";
+                    params = scanParams(toks, p, nullptr);
+                    declLine = toks[p].line;
+                }
+            }
+        }
+
+        if (!isLambda) {
+            // Named-function shape: identifier chain then '('.
+            size_t k = j;
+            while (k + 1 < toks.size() && toks[k].ident() &&
+                   toks[k + 1].is("::")) {
+                declName += toks[k].text + "::";
+                k += 2;
+            }
+            if (k >= toks.size() || !toks[k].ident()) {
+                continue; // function type, alias, or expression
+            }
+            declName += toks[k].text;
+            if (declName == "operator" || toks[k].is("operator")) {
+                continue;
+            }
+            if (k + 1 >= toks.size() || !toks[k + 1].is("(")) {
+                continue; // variable of Task type, using-alias, etc.
+            }
+            params = scanParams(toks, k + 1, nullptr);
+            declLine = toks[k].line;
+        }
+
+        for (const ParamScan &p : params) {
+            int line = p.firstLine != 0 ? p.firstLine : declLine;
+            if (p.topLevelRef || p.stringView) {
+                const char *why =
+                    p.stringView
+                        ? "string_view views caller storage that can die at "
+                          "the first suspension point"
+                        : "references bind caller temporaries that die at "
+                          "the first suspension point";
+                if (!isSuppressed(s, declLine, Rule::kCoroutineRefParam)) {
+                    addFinding(out, s, Rule::kCoroutineRefParam, path, line,
+                               "coroutine " + declName + " parameter '" +
+                                   p.text + "' is not safe to suspend over: " +
+                                   why + "; pass by value");
+                }
+            } else if (p.topLevelPtr && !isLambda) {
+                if (!isSuppressed(s, declLine, Rule::kCoroutinePtrParam)) {
+                    addFinding(out, s, Rule::kCoroutinePtrParam, path, line,
+                               "coroutine " + declName +
+                                   " takes raw pointer '" + p.text +
+                                   "'; ensure the pointee outlives every "
+                                   "suspension (advisory)");
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+// ----------------------------------------------------------------------
+// Public interface
+// ----------------------------------------------------------------------
+
+const char *
+ruleName(Rule rule)
+{
+    switch (rule) {
+    case Rule::kCoroutineRefParam:
+        return "remora-coroutine-ref-param";
+    case Rule::kCoroutinePtrParam:
+        return "remora-coroutine-ptr-param";
+    case Rule::kNondeterminism:
+        return "remora-nondeterminism";
+    case Rule::kIncludeHygiene:
+        return "remora-include-hygiene";
+    }
+    return "remora-unknown";
+}
+
+bool
+ruleIsError(Rule rule)
+{
+    return rule != Rule::kCoroutinePtrParam;
+}
+
+std::string
+Finding::format() const
+{
+    std::ostringstream ss;
+    ss << file << ":" << line << ": [" << ruleName(rule) << "] " << message;
+    return ss.str();
+}
+
+std::vector<Finding>
+lintSource(std::string_view path, std::string_view text, const Options &opts)
+{
+    std::vector<Finding> out;
+    Scrubbed s = scrub(text);
+    if (opts.checkIncludes) {
+        checkIncludes(path, s, opts, out);
+    }
+    std::vector<Token> toks = tokenize(s.text);
+    if (opts.checkNondeterminism) {
+        checkNondeterminism(path, s, toks, opts, out);
+    }
+    if (opts.checkCoroutineParams) {
+        checkCoroutineParams(path, s, toks, out);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Finding &a, const Finding &b) {
+                  return a.line < b.line;
+              });
+    return out;
+}
+
+Options
+optionsForPath(std::string_view relPath)
+{
+    Options opts;
+    std::string p(relPath);
+    std::replace(p.begin(), p.end(), '\\', '/');
+    if (p.rfind("tests/", 0) == 0 ||
+        p.find("/tests/") != std::string::npos) {
+        // Tests include sibling fixtures ("cluster_fixture.h") directly.
+        opts.requireModulePrefix = false;
+    }
+    if (p.find("sim/random.") != std::string::npos) {
+        opts.allowRandomDevice = true;
+    }
+    return opts;
+}
+
+bool
+shouldLint(std::string_view relPath)
+{
+    auto ends = [&](const char *suffix) {
+        std::string_view sv(suffix);
+        return relPath.size() >= sv.size() &&
+               relPath.compare(relPath.size() - sv.size(), sv.size(), sv) ==
+                   0;
+    };
+    return ends(".h") || ends(".cc") || ends(".cpp") || ends(".hpp");
+}
+
+} // namespace remora::lint

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * remora-lint: project-specific hazard checks for the remora tree.
+ *
+ * A light single-file lexer (comments/strings stripped, identifiers and
+ * punctuation tokenized) drives three rule families that general-purpose
+ * tools either miss or cannot know about:
+ *
+ *  - coroutine-param hazards: a `sim::Task<...>` coroutine copies its
+ *    by-value parameters into the coroutine frame, but reference and
+ *    `string_view` parameters silently bind to caller temporaries that
+ *    die at the first suspension point (the PR 1 dangling-reference bug
+ *    class). Pointer parameters cannot bind temporaries — taking `&x`
+ *    of a prvalue is ill-formed — and are the tree's documented idiom
+ *    for handing long-lived objects to detached coroutine lambdas, so
+ *    they are reported as advisory rather than as errors.
+ *  - nondeterminism sources: the simulator's contract is bit-identical
+ *    replay, so wall-clock and platform randomness (`std::rand`,
+ *    `time(nullptr)`, `std::chrono::system_clock`, `std::random_device`)
+ *    are banned outside `sim/random`, which wraps seeding explicitly.
+ *  - include hygiene: no relative `../`/`./` includes, and quoted
+ *    project includes must carry their module prefix ("sim/task.h",
+ *    never "task.h") so the include graph mirrors the layer diagram.
+ *
+ * Suppression uses clang-tidy's spelling so one comment silences both
+ * tools: `// NOLINT(<check>)` on the offending line or
+ * `// NOLINTNEXTLINE(<check>)` on the line above, where <check> is a
+ * remora-lint rule name or a matching clang-tidy check name. A bare
+ * NOLINT (no parenthesized list) silences every rule on that line.
+ */
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace remora::lint {
+
+/** Rule families, used for reporting and NOLINT matching. */
+enum class Rule
+{
+    /** Reference / string_view parameter on a coroutine (error). */
+    kCoroutineRefParam,
+    /** Raw-pointer parameter on a named coroutine (advisory). */
+    kCoroutinePtrParam,
+    /** Banned wall-clock / platform-randomness source (error). */
+    kNondeterminism,
+    /** Relative or unprefixed project include (error). */
+    kIncludeHygiene,
+};
+
+/** remora-lint's name for @p rule, as used in NOLINT(...) lists. */
+const char *ruleName(Rule rule);
+
+/** True when findings of @p rule fail the build (vs. advisory). */
+bool ruleIsError(Rule rule);
+
+/** One reported violation. */
+struct Finding
+{
+    Rule rule;
+    /** Path as handed to lintSource (diagnostic label only). */
+    std::string file;
+    /** 1-based line of the offending construct. */
+    int line = 0;
+    /** Human-readable description, without the file:line prefix. */
+    std::string message;
+
+    /** "file:line: [rule] message" for terminal output. */
+    std::string format() const;
+};
+
+/** Per-file knobs; defaults match a file under src/. */
+struct Options
+{
+    /** Check coroutine parameter lists. */
+    bool checkCoroutineParams = true;
+    /** Check for banned nondeterminism sources. */
+    bool checkNondeterminism = true;
+    /** Check include style. */
+    bool checkIncludes = true;
+    /**
+     * Require quoted includes to start with a known module directory.
+     * Disabled for tests/, which include sibling fixtures directly.
+     */
+    bool requireModulePrefix = true;
+    /**
+     * Permit std::random_device: true only for sim/random.*, the one
+     * sanctioned seeding point.
+     */
+    bool allowRandomDevice = false;
+};
+
+/**
+ * Lint one translation unit.
+ *
+ * @param path Label used in findings (not opened; content comes in @p text).
+ * @param text Full source text.
+ * @param opts Per-file rule configuration.
+ * @return All findings, in source order.
+ */
+std::vector<Finding> lintSource(std::string_view path, std::string_view text,
+                                const Options &opts = {});
+
+/**
+ * Derive per-file options from a repo-relative path, applying the
+ * location-based exemptions described on Options.
+ */
+Options optionsForPath(std::string_view relPath);
+
+/** True when @p relPath is a file remora-lint should scan (.h/.cc/.cpp). */
+bool shouldLint(std::string_view relPath);
+
+} // namespace remora::lint

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * remora-lint driver: walk the tree, lint each source file, report.
+ *
+ *   remora_lint [--root DIR] [--pedantic] [--strict-pointers] [paths...]
+ *
+ * Paths (files or directories, default: src tests) are resolved against
+ * --root (default: the current directory). Exit status is 1 when any
+ * error-severity finding is reported. Advisory findings (raw-pointer
+ * coroutine parameters — the tree's sanctioned idiom for handing
+ * long-lived objects to coroutines) are hidden by default, printed
+ * under --pedantic, and treated as errors under --strict-pointers.
+ */
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Read a whole file; returns false on I/O failure. */
+bool
+readFile(const fs::path &p, std::string *out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = fs::current_path();
+    bool strictPointers = false;
+    bool pedantic = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--strict-pointers") {
+            strictPointers = true;
+        } else if (arg == "--pedantic") {
+            pedantic = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: remora_lint [--root DIR] [--pedantic] "
+                         "[--strict-pointers] [paths...]\n";
+            return 0;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        paths = {"src", "tests"};
+    }
+
+    size_t files = 0;
+    size_t errors = 0;
+    size_t advisories = 0;
+    for (const std::string &p : paths) {
+        fs::path abs = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+        std::vector<fs::path> targets;
+        std::error_code ec;
+        if (fs::is_directory(abs, ec)) {
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(abs, ec)) {
+                if (entry.is_regular_file()) {
+                    targets.push_back(entry.path());
+                }
+            }
+        } else if (fs::is_regular_file(abs, ec)) {
+            targets.push_back(abs);
+        } else {
+            std::cerr << "remora-lint: cannot open " << abs << "\n";
+            return 2;
+        }
+        std::sort(targets.begin(), targets.end());
+        for (const fs::path &file : targets) {
+            std::string rel = fs::relative(file, root, ec).generic_string();
+            rel = ec || rel.empty() ? file.generic_string() : rel;
+            if (!remora::lint::shouldLint(rel)) {
+                continue;
+            }
+            std::string text;
+            if (!readFile(file, &text)) {
+                std::cerr << "remora-lint: cannot read " << file << "\n";
+                return 2;
+            }
+            ++files;
+            auto findings = remora::lint::lintSource(
+                rel, text, remora::lint::optionsForPath(rel));
+            for (const auto &f : findings) {
+                bool isError =
+                    remora::lint::ruleIsError(f.rule) || strictPointers;
+                if (isError || pedantic) {
+                    std::cout << f.format() << "\n";
+                }
+                (isError ? errors : advisories) += 1;
+            }
+        }
+    }
+    std::cout << "remora-lint: " << files << " files scanned, " << errors
+              << " error(s), " << advisories << " advisory note(s)\n";
+    return errors != 0 ? 1 : 0;
+}
