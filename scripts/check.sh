@@ -7,6 +7,7 @@
 #   scripts/check.sh --tidy     # + clang-tidy profile (.clang-tidy)
 #   scripts/check.sh --format   # + clang-format dry run (.clang-format)
 #   scripts/check.sh --asan     # + ASan/UBSan suite in build-asan/
+#   scripts/check.sh --race     # + happens-before race gate, 8 seeds
 #   scripts/check.sh --all      # every gate above
 #
 # Gates are additive: the primary build and test suite always run, and
@@ -28,13 +29,15 @@ DO_LINT=0
 DO_TIDY=0
 DO_FORMAT=0
 DO_ASAN=0
+DO_RACE=0
 for arg in "$@"; do
     case "${arg}" in
         --lint) DO_LINT=1 ;;
         --tidy) DO_TIDY=1 ;;
         --format) DO_FORMAT=1 ;;
         --asan) DO_ASAN=1 ;;
-        --all) DO_LINT=1; DO_TIDY=1; DO_FORMAT=1; DO_ASAN=1 ;;
+        --race) DO_RACE=1 ;;
+        --all) DO_LINT=1; DO_TIDY=1; DO_FORMAT=1; DO_ASAN=1; DO_RACE=1 ;;
         -h|--help)
             sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
             exit 0
@@ -107,6 +110,34 @@ if [[ "${DO_ASAN}" == 1 ]]; then
     echo "== sanitizer pass: ASan + UBSan + LSan =="
     run_suite build-asan -DREMORA_SANITIZE=ON -DREMORA_BUILD_BENCH=OFF
     GATES_RUN+=("asan")
+fi
+
+if [[ "${DO_RACE}" == 1 ]]; then
+    echo
+    echo "== race: happens-before detection over perturbed schedules =="
+    cmake --build build -j "${JOBS}" --target race_probe
+    RACE_SEEDS=(0 1 2 3 4 5 6 7)
+    RACE_TOTAL=0
+    # Per-seed probe: a race-clean workload under the armed detector.
+    # Each seed prints its digest (distinct per seed, replayable) and
+    # race count; any race fails the probe and therefore the gate.
+    for seed in "${RACE_SEEDS[@]}"; do
+        line="$(./build/tools/race_probe/race_probe "${seed}")" || {
+            echo "${line}"
+            echo "race gate: probe reported races at seed ${seed}" >&2
+            exit 1
+        }
+        echo "  ${line}"
+        races="$(sed -n 's/.*races=\([0-9]*\).*/\1/p' <<<"${line}")"
+        RACE_TOTAL=$((RACE_TOTAL + races))
+    done
+    # Per-seed armed suite: every test labeled `race` must stay green
+    # with the detector fatal (REMORA_RACE=1) under that schedule.
+    for seed in "${RACE_SEEDS[@]}"; do
+        (cd build && REMORA_RACE=1 REMORA_PERTURB="${seed}" \
+            ctest -L race --output-on-failure -j "${JOBS}")
+    done
+    GATES_RUN+=("race[seeds=${#RACE_SEEDS[@]} races=${RACE_TOTAL}]")
 fi
 
 echo

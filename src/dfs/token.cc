@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "rmem/race_detector.h"
 #include "util/bytes.h"
 #include "util/hash.h"
 #include "util/panic.h"
@@ -33,6 +34,20 @@ TokenArea::TokenArea(rmem::RmemEngine &engine, mem::Process &owner,
         REMORA_FATAL("token area: export failed: " + h.status().toString());
     }
     handle_ = h.value();
+    if (rmem::RaceDetector::on()) {
+        // Each token slot's leading word is CAS-claimed ownership
+        // state — a sync word for the race detector. The holder
+        // directory that follows the slots is deliberately *not*
+        // marked: registration is a fire-and-forget write that peers
+        // must not race with (see TokenClient's constructor), and the
+        // detector will rightly flag any schedule that contends
+        // before registration lands.
+        auto &det = rmem::RaceDetector::instance();
+        for (uint32_t s = 0; s < params_.tokenSlots; ++s) {
+            det.markSyncWord(handle_.node, handle_.descriptor,
+                             s * kTokenSlotBytes);
+        }
+    }
 }
 
 uint32_t

@@ -93,6 +93,9 @@ AddressSpace::read(Vaddr va, std::span<uint8_t> out) const
         std::memcpy(out.data() + done, frame.data() + pageOff, chunk);
         done += chunk;
     }
+    if (observer_ && !out.empty()) {
+        observer_(false, va, out.size());
+    }
     return {};
 }
 
@@ -116,6 +119,9 @@ AddressSpace::write(Vaddr va, std::span<const uint8_t> data)
         auto frame = phys_.frameData(pte->frame);
         std::memcpy(frame.data() + pageOff, data.data() + done, chunk);
         done += chunk;
+    }
+    if (observer_ && !data.empty()) {
+        observer_(true, va, data.size());
     }
     return {};
 }

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 
@@ -86,10 +87,30 @@ class AddressSpace
     /** Const access to translations. */
     const PageTable &pageTable() const { return pageTable_; }
 
+    /**
+     * Observer invoked after every successful read/write (word accesses
+     * report once, as a 4-byte access). This is the instrumentation
+     * point the happens-before race detector uses to see the exporting
+     * process's *own* loads and stores, which remote accesses race with
+     * but which never cross the rmem engine. At most one observer; the
+     * rmem layer installs it lazily when a segment of this space is
+     * exported while the detector is armed.
+     */
+    using AccessObserver =
+        std::function<void(bool write, Vaddr va, size_t len)>;
+
+    /** Install (or, with an empty function, remove) the observer. */
+    void setAccessObserver(AccessObserver obs) { observer_ = std::move(obs); }
+
+    /** True when an observer is installed. */
+    bool hasAccessObserver() const { return static_cast<bool>(observer_); }
+
   private:
     PhysMem &phys_;
     PageTable pageTable_;
     Vaddr nextRegion_;
+    // Mutable: reads are logically const but still observable events.
+    mutable AccessObserver observer_;
 };
 
 } // namespace remora::mem

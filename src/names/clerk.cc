@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "rmem/race_detector.h"
 #include "sim/logger.h"
 #include "util/bytes.h"
 #include "util/panic.h"
@@ -66,6 +67,25 @@ NameClerk::NameClerk(rmem::RmemEngine &engine, const NameClerkParams &params)
     engine_.channel(requestHandle_.descriptor)
         ->setSignalHandler(
             [this](const rmem::Notification &n) { onLookupRequest(n); });
+
+    if (rmem::RaceDetector::on()) {
+        // Declare the protocol's ordering words to the race detector.
+        // Each registry bucket's flag word is the record's publication
+        // point (body first, flag last — see localInsert), and each
+        // control-transfer reply slot leads with the sequence word the
+        // requester spins on. Everything else in these segments is
+        // plain data whose ordering must derive from those words.
+        auto &det = rmem::RaceDetector::instance();
+        net::NodeId self = engine_.node().id();
+        for (uint32_t b = 0; b < params_.buckets; ++b) {
+            det.markSyncWord(self, registryHandle_.descriptor,
+                             b * NameRecord::kBytes);
+        }
+        for (uint32_t i = 0; i < kCtSlots; ++i) {
+            det.markSyncWord(self, scratchHandle_.descriptor,
+                             kCtArea + i * kCtSlotBytes);
+        }
+    }
 }
 
 void
@@ -320,8 +340,13 @@ NameClerk::localInsert(const NameRecord &rec)
             }
             continue;
         }
-        // Empty or deleted slot: write the body first, flag word last,
-        // so concurrent remote readers never see a half-written record.
+        // Empty or deleted slot: write the body first, flag word last.
+        // The flag word is the record's *release* point: a remote
+        // probe that observes kValid acquires everything written
+        // before (and including) the flag store, so readers never see
+        // a half-written record. Reversing these two stores publishes
+        // an unordered body — exactly the bug the race detector's
+        // reordered-publish regression test pins down.
         std::vector<uint8_t> buf(NameRecord::kBytes);
         rec.encode(buf);
         util::Status ws = process_.space().write(
@@ -350,6 +375,10 @@ NameClerk::localDelete(const std::string &name)
         }
         if (rec.flag == RecordFlag::kValid && rec.name == name) {
             // Flag word first: readers instantly see the tombstone.
+            // Tombstoning needs no body ordering (the body is left
+            // intact), so writing the release word alone is correct;
+            // the next localInsert into this slot re-publishes under
+            // the same flag-word-last discipline.
             util::Status ws = process_.space().writeWord(
                 registryBase_ + off,
                 static_cast<uint32_t>(RecordFlag::kDeleted));

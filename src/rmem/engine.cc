@@ -5,6 +5,7 @@
 
 #include "net/aal5.h"
 #include "obs/trace.h"
+#include "rmem/race_detector.h"
 #include "sim/logger.h"
 #include "util/panic.h"
 
@@ -67,6 +68,28 @@ RmemEngine::exportSegment(mem::Process &owner, mem::Vaddr base, uint32_t size,
                      sim::CpuCategory::kOther);
     const SegmentDescriptor *d = table_.get(slot.value());
     REMORA_ASSERT(d != nullptr);
+    if (RaceDetector::on()) {
+        // Shadow the segment, attribute the channel's consumers to
+        // this node, and let the detector see the exporter's own
+        // loads/stores through the space's access observer. The
+        // observer stays cheap when the detector is later disarmed.
+        RaceDetector::instance().registerSegment(
+            node_.id(), slot.value(), owner.pid(), base, size, name);
+        d->channel->setRaceContext(node_.id());
+        if (!owner.space().hasAccessObserver()) {
+            mem::Node *nodePtr = &node_;
+            mem::Pid pid = owner.pid();
+            owner.space().setAccessObserver(
+                [nodePtr, pid](bool write, mem::Vaddr va, size_t len) {
+                    if (!RaceDetector::on()) {
+                        return;
+                    }
+                    RaceDetector::instance().onLocalAccess(
+                        nodePtr->id(), pid, write, va, len,
+                        nodePtr->simulator().now());
+                });
+        }
+    }
     return ImportedSegment{node_.id(), slot.value(), d->generation, size,
                            rights};
 }
@@ -81,6 +104,9 @@ RmemEngine::revokeSegment(SegmentId id)
     }
     if (mem::Process *owner = ownerOf(*d)) {
         owner->space().unpin(d->base, d->size);
+    }
+    if (RaceDetector::on()) {
+        RaceDetector::instance().unregisterSegment(node_.id(), id);
     }
     node_.cpu().post(costs_.trapOverhead + costs_.validateCost,
                      sim::CpuCategory::kOther);
@@ -485,6 +511,12 @@ RmemEngine::serveWrite(net::NodeId src, WriteReq &&req)
                                        span);
                                    return;
                                }
+                               // The applied store belongs to the
+                               // *initiating* node's happens-before
+                               // timeline, as does the notify release.
+                               RaceDetector::ScopedActor raceScope(
+                                   src, "rmem serve_write from node " +
+                                            std::to_string(src));
                                util::Status ws = owner->space().write(
                                    d->base + req.offset, req.data);
                                REMORA_ASSERT(ws.ok());
@@ -552,6 +584,10 @@ RmemEngine::serveRead(net::NodeId src, ReadReq &&req)
                          resp.reqId = req.reqId;
                          resp.status = util::ErrorCode::kOk;
                          resp.data.resize(req.count);
+                         // The copy-out reads on behalf of the importer.
+                         RaceDetector::ScopedActor raceScope(
+                             src, "rmem serve_read from node " +
+                                      std::to_string(src));
                          util::Status rs = owner->space().read(
                              d->base + req.srcOffset, resp.data);
                          REMORA_ASSERT(rs.ok());
@@ -603,6 +639,15 @@ RmemEngine::serveCas(net::NodeId src, CasReq &&req)
                 obs::TraceRecorder::instance().endSpan(span);
                 return;
             }
+            // A CAS target is by definition a synchronization word:
+            // the read below acquires its clock and a successful swap
+            // releases, so CAS-success pairs chain happens-before.
+            if (RaceDetector::on()) {
+                RaceDetector::instance().markSyncWord(
+                    node_.id(), req.descriptor, req.offset);
+            }
+            RaceDetector::ScopedActor raceScope(
+                src, "rmem serve_cas from node " + std::to_string(src));
             auto word = owner->space().readWord(d->base + req.offset);
             REMORA_ASSERT(word.ok());
             CasResp resp;
@@ -648,6 +693,9 @@ RmemEngine::completeRead(net::NodeId src, ReadResp &&resp)
          data = std::move(resp.data)]() mutable {
             mem::Process *proc = node_.findProcess(p.dstPid);
             if (proc != nullptr) {
+                RaceDetector::ScopedActor raceScope(
+                    node_.id(), "rmem deposit_read on node " +
+                                    std::to_string(node_.id()));
                 util::Status ws = proc->space().write(p.dstVa, data);
                 REMORA_ASSERT(ws.ok());
             }

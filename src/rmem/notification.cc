@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "rmem/race_detector.h"
 #include "util/panic.h"
 
 namespace remora::rmem {
@@ -32,6 +33,10 @@ NotificationChannel::next()
     REMORA_ASSERT(!queue_.empty());
     Notification n = queue_.front();
     queue_.pop_front();
+    if (RaceDetector::on()) {
+        // Consuming the record is the acquire side of the delivery edge.
+        RaceDetector::instance().acquireToken(this, raceOwner_);
+    }
     co_return n;
 }
 
@@ -43,6 +48,9 @@ NotificationChannel::tryNext(Notification &out)
     }
     out = queue_.front();
     queue_.pop_front();
+    if (RaceDetector::on()) {
+        RaceDetector::instance().acquireToken(this, raceOwner_);
+    }
     return true;
 }
 
@@ -57,11 +65,25 @@ void
 NotificationChannel::post(const Notification &n)
 {
     ++delivered_;
+    if (RaceDetector::on()) {
+        // Posting releases the poster's clock into the channel: a
+        // serve path posts on behalf of the initiating node (the
+        // engine's ScopedActor is live here), so everything that node
+        // did — including the store this notification announces —
+        // happens-before the handler/reader that consumes it.
+        auto &det = RaceDetector::instance();
+        det.releaseToken(this, det.currentActor(raceOwner_));
+    }
     if (signalHandler_) {
         // Signal delivery: dispatch cost, then the handler upcall.
         cpu_.post(costs_.notifyDispatchCost,
-                  sim::CpuCategory::kControlTransfer,
-                  [this, n] { signalHandler_(n); });
+                  sim::CpuCategory::kControlTransfer, [this, n] {
+                      if (RaceDetector::on()) {
+                          RaceDetector::instance().acquireToken(this,
+                                                                raceOwner_);
+                      }
+                      signalHandler_(n);
+                  });
         return;
     }
     queue_.push_back(n);

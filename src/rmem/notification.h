@@ -108,6 +108,15 @@ class NotificationChannel
     /** Total notifications delivered through this channel. */
     uint64_t delivered() const { return delivered_; }
 
+    /**
+     * Actor (node id) consuming this channel, for the race detector:
+     * post() releases the poster's clock into the channel and every
+     * consumption point (handler dispatch, next(), tryNext()) acquires
+     * it on behalf of this actor — the notification-delivery
+     * happens-before edge. Set by the engine at export time.
+     */
+    void setRaceContext(uint32_t actor) { raceOwner_ = actor; }
+
     /** The owning node's simulator (wakeups order through its queue). */
     sim::Simulator &simulator() { return cpu_.simulator(); }
 
@@ -123,6 +132,7 @@ class NotificationChannel
     // Blocked reader rendezvous (at most one).
     std::coroutine_handle<> reader_;
     uint64_t delivered_ = 0;
+    uint32_t raceOwner_ = 0;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "rmem/race_detector.h"
 #include "util/bytes.h"
 #include "util/panic.h"
 
@@ -20,6 +21,13 @@ SpinLock::SpinLock(RmemEngine &engine, const ImportedSegment &segment,
 {
     REMORA_ASSERT(ownerTag != 0);
     REMORA_ASSERT(offset % 4 == 0);
+    if (RaceDetector::on()) {
+        // Lock word: CAS acquire pairs with release()'s plain write of
+        // zero, which also covers the word — the detector's sync-word
+        // machinery makes both ends release/acquire edges.
+        RaceDetector::instance().markSyncWord(segment_.node,
+                                              segment_.descriptor, offset_);
+    }
 }
 
 sim::Task<util::Status>
@@ -95,6 +103,13 @@ HeartbeatPublisher::HeartbeatPublisher(RmemEngine &engine,
                      h.status().toString());
     }
     handle_ = h.value();
+    if (RaceDetector::on()) {
+        // The beat counter is a monotonic published word: local stores
+        // release, monitors' remote reads acquire. Without this the
+        // publisher's stores race with every probe by construction.
+        RaceDetector::instance().markSyncWord(handle_.node,
+                                              handle_.descriptor, 0);
+    }
 }
 
 void

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.h"
+#include "rmem/race_detector.h"
 #include "util/bytes.h"
 #include "util/panic.h"
 
@@ -157,6 +158,15 @@ Hybrid1Client::Hybrid1Client(rmem::RmemEngine &engine,
     }
     replyHandle_ = exported.value();
     replySegId_ = replyHandle_.descriptor;
+    if (rmem::RaceDetector::on()) {
+        // The reply sequence word is the synchronization point of the
+        // Hybrid-1 reply path: the server's single reply write covers
+        // it last-in-buffer (release), and the client's spin-read of
+        // it acquires — ordering the header/result bytes it guards.
+        rmem::RaceDetector::instance().markSyncWord(replyHandle_.node,
+                                                    replyHandle_.descriptor,
+                                                    0);
+    }
 }
 
 sim::Task<util::Result<std::vector<uint8_t>>>

@@ -1,10 +1,70 @@
 #include "sim/simulator.h"
 
+#include <cstdlib>
 #include <utility>
 
 #include "util/panic.h"
 
 namespace remora::sim {
+
+namespace {
+
+/** splitmix64: a well-mixed 64-bit permutation for tie-break keys. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** REMORA_PERTURB, parsed once per process (0 when unset/invalid). */
+uint64_t
+envPerturbSeed()
+{
+    static const uint64_t seed = [] {
+        const char *e = std::getenv("REMORA_PERTURB");
+        return e != nullptr ? std::strtoull(e, nullptr, 0) : 0ull;
+    }();
+    return seed;
+}
+
+} // namespace
+
+Simulator::Simulator()
+{
+    uint64_t seed = envPerturbSeed();
+    if (seed != 0) {
+        setPerturbation(seed);
+    }
+}
+
+void
+Simulator::setPerturbation(uint64_t seed)
+{
+    // Re-keying entries already in the heap would break its ordering
+    // invariant; seeds may only change while the queue is empty.
+    REMORA_ASSERT(queue_.empty());
+    if (seed == perturbSeed_) {
+        return;
+    }
+    perturbSeed_ = seed;
+    if (seed != 0) {
+        // Perturbed runs are replayable per seed, but must never alias
+        // an unperturbed run's digest.
+        digest_.mixRecord(now_, "perturb", seed);
+    }
+}
+
+uint64_t
+Simulator::tieKey(EventId id) const
+{
+    if (perturbSeed_ == 0) {
+        return id;
+    }
+    return mix64(perturbSeed_ ^ (id * 0x9e3779b97f4a7c15ull));
+}
 
 EventId
 Simulator::schedule(Duration delay, Callback fn)
@@ -18,7 +78,7 @@ Simulator::scheduleAt(Time when, Callback fn)
 {
     REMORA_ASSERT(when >= now_);
     EventId id = nextId_++;
-    queue_.push(Entry{when, id});
+    queue_.push(Entry{when, tieKey(id), id});
     callbacks_.emplace(id, std::move(fn));
     digest_.mixRecord(when, "sched", id);
     return id;

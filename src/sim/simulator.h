@@ -7,6 +7,16 @@
  * events in (time, insertion) order until the queue drains or a limit is
  * reached. Events scheduled for the same instant execute in insertion
  * order, which makes causality deterministic and test output stable.
+ *
+ * Schedule perturbation (setPerturbation / REMORA_PERTURB) deliberately
+ * weakens the same-instant tie-break: with a non-zero seed, events that
+ * share a timestamp execute in a seeded pseudo-random order instead of
+ * insertion order. Cross-timestamp ordering is untouched, so causality
+ * through simulated time is preserved while every ordering the model
+ * does not enforce gets exercised — the schedules the race detector
+ * (rmem/race_detector.h) needs to drive conflicting accesses into each
+ * other. A given seed is still fully deterministic (the seed is folded
+ * into the digest), so perturbed runs replay bit-identically too.
  */
 #pragma once
 
@@ -32,7 +42,8 @@ class Simulator
     /** Type of all event callbacks. */
     using Callback = std::function<void()>;
 
-    Simulator() = default;
+    /** Applies the REMORA_PERTURB environment seed when set. */
+    Simulator();
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
@@ -115,22 +126,49 @@ class Simulator
      */
     const DeterminismDigest &digest() const { return digest_; }
 
+    /**
+     * Set the schedule-perturbation seed. Zero (the default) restores
+     * exact insertion-order tie-breaking — bit-identical to a simulator
+     * that never called this. A non-zero seed reorders same-timestamp
+     * events pseudo-randomly (deterministically per seed) and folds a
+     * "perturb" record into the digest so perturbed and unperturbed
+     * runs can never be confused.
+     *
+     * Must be called before any event is scheduled: changing the
+     * tie-break key function with entries already heaped would corrupt
+     * the priority queue's invariant.
+     */
+    void setPerturbation(uint64_t seed);
+
+    /** The active perturbation seed (0 = insertion order). */
+    uint64_t perturbation() const { return perturbSeed_; }
+
   private:
     struct Entry
     {
         Time when;
+        /** Tie-break key: the id itself, or its seeded hash. */
+        uint64_t key;
         EventId id;
-        // Ordered min-first by (when, id); id breaks ties by insertion.
+        // Ordered min-first by (when, key, id); with a zero seed the
+        // key equals the id, i.e. exact insertion order.
         bool
         operator>(const Entry &o) const
         {
-            return when != o.when ? when > o.when : id > o.id;
+            if (when != o.when) {
+                return when > o.when;
+            }
+            return key != o.key ? key > o.key : id > o.id;
         }
     };
+
+    /** Same-instant ordering key for a fresh event. */
+    uint64_t tieKey(EventId id) const;
 
     Time now_ = 0;
     EventId nextId_ = 1;
     uint64_t processed_ = 0;
+    uint64_t perturbSeed_ = 0;
     DeterminismDigest digest_;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
     // Callbacks keyed by id; erased on execution or cancellation.

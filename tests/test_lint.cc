@@ -414,6 +414,130 @@ TEST(LintPolicy, EveryRuleHasAStableName)
                  "remora-coroutine-ptr-param");
     EXPECT_STREQ(ruleName(Rule::kNondeterminism), "remora-nondeterminism");
     EXPECT_STREQ(ruleName(Rule::kIncludeHygiene), "remora-include-hygiene");
+    EXPECT_STREQ(ruleName(Rule::kRefCaptureDeferred),
+                 "remora-ref-capture-deferred");
+}
+
+// ----------------------------------------------------------------------
+// Deferred-lambda by-reference captures
+// ----------------------------------------------------------------------
+
+TEST(LintRefCapture, DefaultRefCaptureHandedToScheduleIsError)
+{
+    constexpr std::string_view kFixture = R"cc(
+void arm(sim::Simulator &sim, int &hits)
+{
+    sim.schedule(10, [&] { ++hits; });
+}
+)cc";
+    auto findings = only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                         Rule::kRefCaptureDeferred);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_TRUE(ruleIsError(findings[0].rule));
+    EXPECT_NE(findings[0].message.find("schedule"), std::string::npos);
+}
+
+TEST(LintRefCapture, NamedRefCaptureInScheduleAtNamesTheCapture)
+{
+    constexpr std::string_view kFixture = R"cc(
+void arm(sim::Simulator &sim, Counter &c)
+{
+    sim.scheduleAt(100, [&c] { c.inc(); });
+}
+)cc";
+    auto findings = only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                         Rule::kRefCaptureDeferred);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("'&c'"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("scheduleAt"), std::string::npos);
+}
+
+TEST(LintRefCapture, ValueCapturesHandedToScheduleAreClean)
+{
+    constexpr std::string_view kFixture = R"cc(
+void arm(sim::Simulator &sim, Engine *eng, int seq)
+{
+    sim.schedule(10, [eng, seq] { eng->kick(seq); });
+    sim.schedule(20, [this] { tick(); });
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kRefCaptureDeferred)
+                    .empty());
+}
+
+TEST(LintRefCapture, PointerInitCaptureIsNotAReferenceCapture)
+{
+    constexpr std::string_view kFixture = R"cc(
+void arm(sim::Simulator &sim, Node &node)
+{
+    sim.schedule(10, [n = &node] { n->tick(); });
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kRefCaptureDeferred)
+                    .empty());
+}
+
+TEST(LintRefCapture, CoroutineLambdaWithRefCaptureIsError)
+{
+    constexpr std::string_view kFixture = R"cc(
+void spawn(Engine &eng)
+{
+    [&eng]() -> sim::Task<void> {
+        co_await eng.drain();
+    }().detach();
+}
+)cc";
+    auto findings = only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                         Rule::kRefCaptureDeferred);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("coroutine lambda"),
+              std::string::npos);
+    EXPECT_NE(findings[0].message.find("'&eng'"), std::string::npos);
+}
+
+TEST(LintRefCapture, ValueCaptureCoroutineLambdaIsClean)
+{
+    // The tree's documented idiom: captureless or pointer-value capture.
+    constexpr std::string_view kFixture = R"cc(
+void spawn(Engine &eng)
+{
+    [](Engine *e) -> sim::Task<void> { co_await e->drain(); }(&eng)
+        .detach();
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kRefCaptureDeferred)
+                    .empty());
+}
+
+TEST(LintRefCapture, SubscriptsAreNotCaptureLists)
+{
+    constexpr std::string_view kFixture = R"cc(
+void arm(sim::Simulator &sim, std::vector<int> &v, int i)
+{
+    sim.schedule(10, [v, i] { use(v[i] & 0xff); });
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kRefCaptureDeferred)
+                    .empty());
+}
+
+TEST(LintRefCapture, NolintAndClangTidyAliasSuppress)
+{
+    constexpr std::string_view kFixture = R"cc(
+void arm(sim::Simulator &sim, int &hits)
+{
+    // NOLINTNEXTLINE(remora-ref-capture-deferred)
+    sim.schedule(10, [&] { ++hits; });
+    sim.schedule(20, [&] { ++hits; }); // NOLINT(cppcoreguidelines-avoid-capturing-lambda-coroutines)
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kRefCaptureDeferred)
+                    .empty());
 }
 
 TEST(LintPolicy, HazardsInsideCommentsAndStringsAreIgnored)

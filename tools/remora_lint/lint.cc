@@ -22,6 +22,9 @@ const char *const kNondetAliases[] = {
     "cert-msc50-cpp",
     "cert-msc51-cpp",
 };
+const char *const kRefCaptureAliases[] = {
+    "cppcoreguidelines-avoid-capturing-lambda-coroutines",
+};
 
 bool
 isIdentChar(char c)
@@ -216,6 +219,13 @@ isSuppressed(const Scrubbed &s, int line, Rule rule)
     }
     if (rule == Rule::kNondeterminism) {
         for (const char *alias : kNondetAliases) {
+            if (checks.count(alias) != 0) {
+                return true;
+            }
+        }
+    }
+    if (rule == Rule::kRefCaptureDeferred) {
+        for (const char *alias : kRefCaptureAliases) {
             if (checks.count(alias) != 0) {
                 return true;
             }
@@ -618,6 +628,156 @@ checkCoroutineParams(std::string_view path, const Scrubbed &s,
     }
 }
 
+/**
+ * True when the '[' at @p idx opens a lambda capture list rather than a
+ * subscript: subscripts follow a value expression (identifier, ')', ']'),
+ * lambda introducers follow punctuation that starts an expression.
+ */
+bool
+isLambdaIntro(const std::vector<Token> &toks, size_t idx)
+{
+    if (!toks[idx].is("[")) {
+        return false;
+    }
+    if (idx == 0) {
+        return true;
+    }
+    const Token &p = toks[idx - 1];
+    return p.is("(") || p.is(",") || p.is("=") || p.is("{") || p.is(";") ||
+           p.is("return") || p.is("&&") || p.is("||") || p.is("?") ||
+           p.is(":");
+}
+
+/**
+ * Scan the capture list opened by '[' at @p open. Returns the first
+ * by-reference capture ("&", "&x") or empty when all captures are by
+ * value; `[p = &obj]` init-captures of pointers do not count. Sets
+ * @p closeOut to the matching ']'.
+ */
+std::string
+refCaptureIn(const std::vector<Token> &toks, size_t open, size_t *closeOut)
+{
+    std::string found;
+    int depth = 0;
+    size_t k = open;
+    for (; k < toks.size(); ++k) {
+        if (toks[k].is("[")) {
+            ++depth;
+        } else if (toks[k].is("]")) {
+            --depth;
+            if (depth == 0) {
+                break;
+            }
+        } else if (depth == 1 && found.empty() && toks[k].is("&") &&
+                   (toks[k - 1].is("[") || toks[k - 1].is(","))) {
+            found = "&";
+            if (k + 1 < toks.size() && toks[k + 1].ident()) {
+                found += toks[k + 1].text;
+            }
+        }
+    }
+    if (closeOut != nullptr) {
+        *closeOut = k;
+    }
+    return found;
+}
+
+/**
+ * The deferred-lambda capture pass (kRefCaptureDeferred).
+ *
+ * Two shapes of lambda outlive the scope that created them, so their
+ * by-reference captures dangle exactly like reference coroutine
+ * parameters:
+ *
+ *  - arguments to `Simulator::schedule(...)` / `scheduleAt(...)`: the
+ *    callback runs from the event queue after the caller returned;
+ *  - coroutine lambdas (`[...](...) -> Task<...>`): the frame suspends
+ *    past the enclosing scope (the spawned-task case).
+ */
+void
+checkRefCaptures(std::string_view path, const Scrubbed &s,
+                 const std::vector<Token> &toks, std::vector<Finding> &out)
+{
+    // Shape 1: lambdas in schedule/scheduleAt argument lists.
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!toks[i].ident() ||
+            (!toks[i].is("schedule") && !toks[i].is("scheduleAt")) ||
+            !toks[i + 1].is("(")) {
+            continue;
+        }
+        int paren = 0;
+        for (size_t k = i + 1; k < toks.size(); ++k) {
+            if (toks[k].is("(")) {
+                ++paren;
+            } else if (toks[k].is(")")) {
+                if (--paren == 0) {
+                    break;
+                }
+            } else if (isLambdaIntro(toks, k)) {
+                size_t close = k;
+                std::string ref = refCaptureIn(toks, k, &close);
+                if (!ref.empty()) {
+                    addFinding(out, s, Rule::kRefCaptureDeferred, path,
+                               toks[k].line,
+                               "lambda handed to Simulator::" + toks[i].text +
+                                   " captures '" + ref +
+                                   "' by reference; the callback runs after "
+                                   "the enclosing scope unwound — capture by "
+                                   "value");
+                }
+                k = close;
+            }
+        }
+    }
+
+    // Shape 2: coroutine lambdas — '[caps] ( params ) specifiers -> Task<'.
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (!isLambdaIntro(toks, i)) {
+            continue;
+        }
+        size_t close = i;
+        std::string ref = refCaptureIn(toks, i, &close);
+        if (ref.empty() || close + 1 >= toks.size() ||
+            !toks[close + 1].is("(")) {
+            continue;
+        }
+        // Match the parameter list's ')'.
+        int paren = 0;
+        size_t k = close + 1;
+        for (; k < toks.size(); ++k) {
+            if (toks[k].is("(")) {
+                ++paren;
+            } else if (toks[k].is(")")) {
+                if (--paren == 0) {
+                    break;
+                }
+            }
+        }
+        // Skip specifiers (mutable/noexcept/constexpr), expect '->'.
+        size_t r = k + 1;
+        while (r < toks.size() && toks[r].ident() && !toks[r].is("Task")) {
+            ++r;
+        }
+        if (r >= toks.size() || !toks[r].is("->")) {
+            continue;
+        }
+        // Return type: optionally qualified Task<...>.
+        size_t q = r + 1;
+        while (q + 1 < toks.size() && toks[q].ident() &&
+               toks[q + 1].is("::")) {
+            q += 2;
+        }
+        if (q + 1 < toks.size() && toks[q].is("Task") &&
+            toks[q + 1].is("<")) {
+            addFinding(out, s, Rule::kRefCaptureDeferred, path, toks[i].line,
+                       "coroutine lambda captures '" + ref +
+                           "' by reference; the frame suspends past the "
+                           "enclosing scope — capture by value or pass as "
+                           "a parameter");
+        }
+    }
+}
+
 } // namespace
 
 // ----------------------------------------------------------------------
@@ -632,6 +792,8 @@ ruleName(Rule rule)
         return "remora-coroutine-ref-param";
     case Rule::kCoroutinePtrParam:
         return "remora-coroutine-ptr-param";
+    case Rule::kRefCaptureDeferred:
+        return "remora-ref-capture-deferred";
     case Rule::kNondeterminism:
         return "remora-nondeterminism";
     case Rule::kIncludeHygiene:
@@ -669,6 +831,9 @@ lintSource(std::string_view path, std::string_view text, const Options &opts)
     if (opts.checkCoroutineParams) {
         checkCoroutineParams(path, s, toks, out);
     }
+    if (opts.checkRefCaptures) {
+        checkRefCaptures(path, s, toks, out);
+    }
     std::sort(out.begin(), out.end(),
               [](const Finding &a, const Finding &b) {
                   return a.line < b.line;
@@ -686,6 +851,9 @@ optionsForPath(std::string_view relPath)
         p.find("/tests/") != std::string::npos) {
         // Tests include sibling fixtures ("cluster_fixture.h") directly.
         opts.requireModulePrefix = false;
+        // Test bodies run the simulator to completion inside the
+        // capturing scope; see Options::checkRefCaptures.
+        opts.checkRefCaptures = false;
     }
     if (p.find("sim/random.") != std::string::npos) {
         opts.allowRandomDevice = true;

@@ -3,7 +3,7 @@
  * remora-lint: project-specific hazard checks for the remora tree.
  *
  * A light single-file lexer (comments/strings stripped, identifiers and
- * punctuation tokenized) drives three rule families that general-purpose
+ * punctuation tokenized) drives four rule families that general-purpose
  * tools either miss or cannot know about:
  *
  *  - coroutine-param hazards: a `sim::Task<...>` coroutine copies its
@@ -14,6 +14,11 @@
  *    of a prvalue is ill-formed — and are the tree's documented idiom
  *    for handing long-lived objects to detached coroutine lambdas, so
  *    they are reported as advisory rather than as errors.
+ *  - deferred-lambda captures: a lambda handed to
+ *    `Simulator::schedule`/`scheduleAt` runs after the enclosing scope
+ *    has unwound, and a coroutine lambda (`-> Task<...>`) suspends
+ *    past it; in both, `[&]`-style by-reference captures dangle — the
+ *    same bug family as the coroutine-param rules, one level up.
  *  - nondeterminism sources: the simulator's contract is bit-identical
  *    replay, so wall-clock and platform randomness (`std::rand`,
  *    `time(nullptr)`, `std::chrono::system_clock`, `std::random_device`)
@@ -43,6 +48,12 @@ enum class Rule
     kCoroutineRefParam,
     /** Raw-pointer parameter on a named coroutine (advisory). */
     kCoroutinePtrParam,
+    /**
+     * By-reference capture on a lambda whose frame outlives the
+     * enclosing scope: handed to Simulator::schedule/scheduleAt, or a
+     * coroutine lambda (`-> Task<...>`) that can suspend (error).
+     */
+    kRefCaptureDeferred,
     /** Banned wall-clock / platform-randomness source (error). */
     kNondeterminism,
     /** Relative or unprefixed project include (error). */
@@ -75,6 +86,14 @@ struct Options
 {
     /** Check coroutine parameter lists. */
     bool checkCoroutineParams = true;
+    /**
+     * Check by-reference captures on deferred/coroutine lambdas.
+     * Disabled for tests/: a test body pumps the simulator with run()
+     * inside the capturing scope, so its locals outlive every queued
+     * callback and `[&]` is the idiomatic way to collect results. In
+     * src/, a scheduled callback escapes the scheduling scope.
+     */
+    bool checkRefCaptures = true;
     /** Check for banned nondeterminism sources. */
     bool checkNondeterminism = true;
     /** Check include style. */
