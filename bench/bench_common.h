@@ -7,17 +7,14 @@
 
 #include <cmath>
 #include <cstdio>
-#include <fstream>
-#include <limits>
 #include <string>
-#include <vector>
 
 #include "mem/node.h"
 #include "net/network.h"
+#include "obs/bench_report.h"
 #include "rmem/engine.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
-#include "util/json.h"
 #include "util/panic.h"
 #include "util/strings.h"
 
@@ -98,120 +95,9 @@ banner(const std::string &title)
 }
 
 /**
- * Machine-readable mirror of a bench's printed table.
- *
- * Every bench builds one of these alongside its TextTable and calls
- * write() at the end, producing BENCH_<name>.json next to the binary
- * so sweeps and CI can consume the numbers without screen-scraping.
- * Metric names are dotted paths ("read.latency_us"); a metric with a
- * paper value also records its percentage deviation.
+ * Machine-readable mirror of a bench's printed table; lives in obs so
+ * tools (bench_diff) and tests share it. See obs/bench_report.h.
  */
-class BenchReport
-{
-  public:
-    explicit BenchReport(std::string name) : name_(std::move(name)) {}
-
-    /** Record one measured value; @p paper NaN means no paper figure. */
-    void
-    metric(const std::string &name, double value, const std::string &unit,
-           double paper = std::numeric_limits<double>::quiet_NaN())
-    {
-        metrics_.push_back({name, value, unit, paper});
-    }
-
-    /** Record a pass/fail shape check. */
-    void
-    check(const std::string &name, bool ok)
-    {
-        checks_.push_back({name, ok});
-    }
-
-    /** Attach free-form context (conditions, caveats). */
-    void note(const std::string &text) { notes_.push_back(text); }
-
-    /** True when every recorded check passed. */
-    bool
-    allChecksPass() const
-    {
-        for (const auto &c : checks_) {
-            if (!c.ok) {
-                return false;
-            }
-        }
-        return true;
-    }
-
-    /** The report as a JSON document. */
-    std::string
-    toJson() const
-    {
-        util::JsonWriter w;
-        w.beginObject();
-        w.kv("bench", name_);
-        w.key("metrics").beginArray();
-        for (const auto &m : metrics_) {
-            w.beginObject();
-            w.kv("name", m.name);
-            w.kv("value", m.value);
-            if (!m.unit.empty()) {
-                w.kv("unit", m.unit);
-            }
-            if (!std::isnan(m.paper)) {
-                w.kv("paper", m.paper);
-                if (m.paper != 0.0) {
-                    w.kv("deviation_pct",
-                         100.0 * (m.value - m.paper) / m.paper);
-                }
-            }
-            w.endObject();
-        }
-        w.endArray();
-        w.key("checks").beginArray();
-        for (const auto &c : checks_) {
-            w.beginObject().kv("name", c.name).kv("ok", c.ok).endObject();
-        }
-        w.endArray();
-        w.key("notes").beginArray();
-        for (const auto &n : notes_) {
-            w.value(n);
-        }
-        w.endArray();
-        w.endObject();
-        return w.str();
-    }
-
-    /** Write BENCH_<name>.json into the working directory. */
-    void
-    write() const
-    {
-        std::string path = "BENCH_" + name_ + ".json";
-        std::ofstream out(path);
-        if (!out) {
-            std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
-            return;
-        }
-        out << toJson() << "\n";
-        std::printf("[bench report: %s]\n", path.c_str());
-    }
-
-  private:
-    struct Metric
-    {
-        std::string name;
-        double value;
-        std::string unit;
-        double paper;
-    };
-    struct Check
-    {
-        std::string name;
-        bool ok;
-    };
-
-    std::string name_;
-    std::vector<Metric> metrics_;
-    std::vector<Check> checks_;
-    std::vector<std::string> notes_;
-};
+using BenchReport = obs::BenchReport;
 
 } // namespace remora::bench

@@ -19,6 +19,8 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "obs/critical_path.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 using namespace remora;
@@ -146,6 +148,82 @@ measureNotifyOverheadUs(Harness &h, double plainWriteUs, int iters)
     return total / iters;
 }
 
+/** Analyzer-vs-engine agreement for one op kind (see checkAgreement). */
+struct AgreementRow
+{
+    const char *name;
+    obs::PhaseTotals analyzer; /**< Mean per op, ns. */
+    double count = 0;
+    const rmem::OpPhaseStats *engine;
+};
+
+/**
+ * Empirical critical-path decomposition: rerun the three latency loops
+ * on a fresh harness with the trace recorder on, walk the cross-node
+ * DAG, and check the result against the engine's model-derived phase
+ * accumulators. The analyzer splits queueing out of software (the
+ * model cannot), so software compares as analyzer software + queueing.
+ */
+std::vector<AgreementRow>
+measureCriticalPaths(Harness &h, int iters)
+{
+    auto &rec = obs::TraceRecorder::instance();
+    rec.enable(h.cluster.sim);
+    measureWriteUs(h, iters);
+    measureReadUs(h, iters);
+    measureCasUs(h, iters);
+    rec.disable();
+
+    obs::CriticalPathAnalyzer analyzer;
+    auto paths = analyzer.analyze(rec.events());
+    std::printf("Critical-path decomposition (traced, mean us/op):\n");
+    std::fputs(obs::CriticalPathAnalyzer::renderText(paths).c_str(), stdout);
+
+    auto summary = obs::CriticalPathAnalyzer::summarize(paths);
+    std::vector<AgreementRow> rows = {
+        {"write", {}, 0, &h.cluster.engineA.metrics().write},
+        {"read", {}, 0, &h.cluster.engineA.metrics().read},
+        {"cas", {}, 0, &h.cluster.engineA.metrics().cas},
+    };
+    for (auto &row : rows) {
+        auto it = summary.find(row.name);
+        if (it == summary.end() || it->second.count == 0) {
+            continue;
+        }
+        row.count = static_cast<double>(it->second.count);
+        row.analyzer = it->second.totals;
+    }
+    rec.clear();
+    return rows;
+}
+
+/**
+ * |analyzer - engine| for each phase, relative to the engine's total
+ * latency; the bench gate requires agreement within 1%.
+ */
+bool
+checkAgreement(const AgreementRow &row)
+{
+    if (row.count == 0) {
+        return false;
+    }
+    double totalUs = row.engine->totalUs.mean();
+    if (totalUs <= 0) {
+        return false;
+    }
+    auto meanUs = [&row](sim::Duration d) {
+        return sim::toUsec(d) / row.count;
+    };
+    double swQ = meanUs(row.analyzer.software) + meanUs(row.analyzer.queueing);
+    double worst = std::max(
+        {std::abs(swQ - row.engine->softwareUs.mean()),
+         std::abs(meanUs(row.analyzer.wire) - row.engine->wireUs.mean()),
+         std::abs(meanUs(row.analyzer.controller) -
+                  row.engine->controllerUs.mean()),
+         std::abs(meanUs(row.analyzer.total()) - totalUs)});
+    return worst / totalUs <= 0.01;
+}
+
 } // namespace
 
 int
@@ -195,6 +273,12 @@ main()
     phases("read", em.read);
     phases("cas", em.cas);
 
+    // Traced rerun on a fresh harness (so the engine accumulators cover
+    // exactly the traced ops): empirical decomposition vs the model.
+    std::printf("\n");
+    Harness traced;
+    auto agreement = measureCriticalPaths(traced, kIters);
+
     bench::BenchReport report("table2_rmem_ops");
     report.metric("read.latency_us", readUs, "us", 45);
     report.metric("write.latency_us", writeUs, "us", 30);
@@ -217,6 +301,23 @@ main()
     phaseMetrics("write", em.write);
     phaseMetrics("read", em.read);
     phaseMetrics("cas", em.cas);
+    report.percentiles("write.latency", em.write.latencyUs, "us");
+    report.percentiles("read.latency", em.read.latencyUs, "us");
+    report.percentiles("cas.latency", em.cas.latencyUs, "us");
+    for (const auto &row : agreement) {
+        auto meanUs = [&row](sim::Duration d) {
+            return row.count ? sim::toUsec(d) / row.count : 0.0;
+        };
+        std::string key = std::string(row.name) + ".critpath";
+        report.metric(key + ".software_us", meanUs(row.analyzer.software),
+                      "us");
+        report.metric(key + ".wire_us", meanUs(row.analyzer.wire), "us");
+        report.metric(key + ".controller_us",
+                      meanUs(row.analyzer.controller), "us");
+        report.metric(key + ".queueing_us", meanUs(row.analyzer.queueing),
+                      "us");
+        report.check(key + ".agrees_with_engine", checkAgreement(row));
+    }
     report.check("read_gt_cas_gt_write",
                  readUs > casUs && casUs > writeUs);
     report.check("phases_sum_to_total",

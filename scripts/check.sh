@@ -8,6 +8,7 @@
 #   scripts/check.sh --format   # + clang-format dry run (.clang-format)
 #   scripts/check.sh --asan     # + ASan/UBSan suite in build-asan/
 #   scripts/check.sh --race     # + happens-before race gate, 8 seeds
+#   scripts/check.sh --bench    # + bench regression gate vs baselines
 #   scripts/check.sh --all      # every gate above
 #
 # Gates are additive: the primary build and test suite always run, and
@@ -30,6 +31,7 @@ DO_TIDY=0
 DO_FORMAT=0
 DO_ASAN=0
 DO_RACE=0
+DO_BENCH=0
 for arg in "$@"; do
     case "${arg}" in
         --lint) DO_LINT=1 ;;
@@ -37,7 +39,8 @@ for arg in "$@"; do
         --format) DO_FORMAT=1 ;;
         --asan) DO_ASAN=1 ;;
         --race) DO_RACE=1 ;;
-        --all) DO_LINT=1; DO_TIDY=1; DO_FORMAT=1; DO_ASAN=1; DO_RACE=1 ;;
+        --bench) DO_BENCH=1 ;;
+        --all) DO_LINT=1; DO_TIDY=1; DO_FORMAT=1; DO_ASAN=1; DO_RACE=1; DO_BENCH=1 ;;
         -h|--help)
             sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
             exit 0
@@ -138,6 +141,20 @@ if [[ "${DO_RACE}" == 1 ]]; then
             ctest -L race --output-on-failure -j "${JOBS}")
     done
     GATES_RUN+=("race[seeds=${#RACE_SEEDS[@]} races=${RACE_TOTAL}]")
+fi
+
+if [[ "${DO_BENCH}" == 1 ]]; then
+    echo
+    echo "== bench: regression gate vs bench/baselines =="
+    # Rerun the smoke benches (they rewrite BENCH_*.json in build/bench/,
+    # atomically), then compare every baselined report. The simulation is
+    # deterministic, so the tolerances guard against real model changes,
+    # not machine noise; an intended change is shipped by refreshing the
+    # baseline file alongside it.
+    cmake --build build -j "${JOBS}" --target bench_diff
+    (cd build && ctest -L bench_smoke --output-on-failure -j "${JOBS}")
+    ./build/tools/bench_diff/bench_diff --tol 5 bench/baselines build/bench
+    GATES_RUN+=("bench")
 fi
 
 echo

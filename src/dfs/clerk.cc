@@ -39,14 +39,30 @@ ServerClerk::leave()
     }
 }
 
-obs::SpanId
+ServerClerk::ClerkOp
 ServerClerk::beginOp(const char *op)
 {
     if (!obs::TraceRecorder::on()) {
-        return obs::kNoSpan;
+        return {};
     }
-    return obs::TraceRecorder::instance().beginSpan(nodeOfCpu(cpu_.name()),
-                                                    "dfs", op);
+    auto &rec = obs::TraceRecorder::instance();
+    ClerkOp out;
+    // Runs eagerly at call time, so an enclosing OpScope (a workload
+    // driving several file ops under one umbrella op) becomes parent.
+    out.op = rec.newAsyncId();
+    rec.asyncBegin(out.op, nodeOfCpu(cpu_.name()), "dfs", op);
+    out.span = rec.beginSpanFor(out.op, nodeOfCpu(cpu_.name()), "dfs", op);
+    return out;
+}
+
+void
+ServerClerk::endOp(const ClerkOp &op, const char *name)
+{
+    auto &rec = obs::TraceRecorder::instance();
+    rec.endSpan(op.span);
+    if (op.op != 0) {
+        rec.asyncEnd(op.op, nodeOfCpu(cpu_.name()), "dfs", name);
+    }
 }
 
 void
@@ -62,12 +78,15 @@ sim::Task<util::Status>
 ServerClerk::null()
 {
     stats_.requests.inc();
-    obs::SpanId span = beginOp("clerk_null");
+    ClerkOp op = beginOp("clerk_null");
     co_await enter();
     stats_.backendCalls.inc();
-    util::Status s = co_await backend_.null();
+    util::Status s = co_await [&] {
+        obs::OpScope traceScope(op.op);
+        return backend_.null();
+    }();
     co_await leave();
-    obs::TraceRecorder::instance().endSpan(span);
+    endOp(op, "clerk_null");
     co_return s;
 }
 
@@ -75,24 +94,27 @@ sim::Task<util::Result<FileAttr>>
 ServerClerk::getattr(FileHandle fh)
 {
     stats_.requests.inc();
-    obs::SpanId span = beginOp("clerk_getattr");
+    ClerkOp op = beginOp("clerk_getattr");
     co_await enter();
     if (params_.enableLocalCache) {
         if (auto it = attrCache_.find(fh.key()); it != attrCache_.end()) {
             stats_.localHits.inc();
             FileAttr attr = it->second;
             co_await leave();
-            obs::TraceRecorder::instance().endSpan(span);
+            endOp(op, "clerk_getattr");
             co_return attr;
         }
     }
     stats_.backendCalls.inc();
-    auto result = co_await backend_.getattr(fh);
+    auto result = co_await [&] {
+        obs::OpScope traceScope(op.op);
+        return backend_.getattr(fh);
+    }();
     if (result.ok() && params_.enableLocalCache) {
         attrCache_[fh.key()] = result.value();
     }
     co_await leave();
-    obs::TraceRecorder::instance().endSpan(span);
+    endOp(op, "clerk_getattr");
     co_return result;
 }
 
@@ -100,7 +122,7 @@ sim::Task<util::Result<LookupReply>>
 ServerClerk::lookup(FileHandle dir, std::string name)
 {
     stats_.requests.inc();
-    obs::SpanId span = beginOp("clerk_lookup");
+    ClerkOp op = beginOp("clerk_lookup");
     co_await enter();
     auto key = std::make_pair(dir.key(), name);
     if (params_.enableLocalCache) {
@@ -108,18 +130,21 @@ ServerClerk::lookup(FileHandle dir, std::string name)
             stats_.localHits.inc();
             LookupReply reply = it->second;
             co_await leave();
-            obs::TraceRecorder::instance().endSpan(span);
+            endOp(op, "clerk_lookup");
             co_return reply;
         }
     }
     stats_.backendCalls.inc();
-    auto result = co_await backend_.lookup(dir, name);
+    auto result = co_await [&] {
+        obs::OpScope traceScope(op.op);
+        return backend_.lookup(dir, name);
+    }();
     if (result.ok() && params_.enableLocalCache) {
         nameCache_[key] = result.value();
         attrCache_[result.value().fh.key()] = result.value().attr;
     }
     co_await leave();
-    obs::TraceRecorder::instance().endSpan(span);
+    endOp(op, "clerk_lookup");
     co_return result;
 }
 
@@ -127,7 +152,7 @@ sim::Task<util::Result<std::vector<uint8_t>>>
 ServerClerk::read(FileHandle fh, uint64_t offset, uint32_t count)
 {
     stats_.requests.inc();
-    obs::SpanId span = beginOp("clerk_read");
+    ClerkOp op = beginOp("clerk_read");
     co_await enter();
 
     std::vector<uint8_t> out;
@@ -159,12 +184,15 @@ ServerClerk::read(FileHandle fh, uint64_t offset, uint32_t count)
     if (allLocal) {
         stats_.localHits.inc();
         co_await leave();
-        obs::TraceRecorder::instance().endSpan(span);
+        endOp(op, "clerk_read");
         co_return out;
     }
 
     stats_.backendCalls.inc();
-    auto result = co_await backend_.read(fh, offset, count);
+    auto result = co_await [&] {
+        obs::OpScope traceScope(op.op);
+        return backend_.read(fh, offset, count);
+    }();
     if (result.ok() && params_.enableLocalCache &&
         offset % kBlockBytes == 0) {
         // Cache whole blocks from block-aligned reads.
@@ -178,7 +206,7 @@ ServerClerk::read(FileHandle fh, uint64_t offset, uint32_t count)
         }
     }
     co_await leave();
-    obs::TraceRecorder::instance().endSpan(span);
+    endOp(op, "clerk_read");
     co_return result;
 }
 
@@ -186,7 +214,7 @@ sim::Task<util::Status>
 ServerClerk::write(FileHandle fh, uint64_t offset, std::vector<uint8_t> data)
 {
     stats_.requests.inc();
-    obs::SpanId span = beginOp("clerk_write");
+    ClerkOp op = beginOp("clerk_write");
     co_await enter();
     if (params_.enableLocalCache && offset % kBlockBytes == 0) {
         for (uint64_t p = 0; p < data.size(); p += kBlockBytes) {
@@ -199,9 +227,12 @@ ServerClerk::write(FileHandle fh, uint64_t offset, std::vector<uint8_t> data)
     }
     attrCache_.erase(fh.key()); // size/mtime changed
     stats_.backendCalls.inc();
-    util::Status s = co_await backend_.write(fh, offset, std::move(data));
+    util::Status s = co_await [&] {
+        obs::OpScope traceScope(op.op);
+        return backend_.write(fh, offset, std::move(data));
+    }();
     co_await leave();
-    obs::TraceRecorder::instance().endSpan(span);
+    endOp(op, "clerk_write");
     co_return s;
 }
 
@@ -209,24 +240,27 @@ sim::Task<util::Result<std::string>>
 ServerClerk::readlink(FileHandle fh)
 {
     stats_.requests.inc();
-    obs::SpanId span = beginOp("clerk_readlink");
+    ClerkOp op = beginOp("clerk_readlink");
     co_await enter();
     if (params_.enableLocalCache) {
         if (auto it = linkCache_.find(fh.key()); it != linkCache_.end()) {
             stats_.localHits.inc();
             std::string target = it->second;
             co_await leave();
-            obs::TraceRecorder::instance().endSpan(span);
+            endOp(op, "clerk_readlink");
             co_return target;
         }
     }
     stats_.backendCalls.inc();
-    auto result = co_await backend_.readlink(fh);
+    auto result = co_await [&] {
+        obs::OpScope traceScope(op.op);
+        return backend_.readlink(fh);
+    }();
     if (result.ok() && params_.enableLocalCache) {
         linkCache_[fh.key()] = result.value();
     }
     co_await leave();
-    obs::TraceRecorder::instance().endSpan(span);
+    endOp(op, "clerk_readlink");
     co_return result;
 }
 
@@ -234,24 +268,27 @@ sim::Task<util::Result<std::vector<DirEntry>>>
 ServerClerk::readdir(FileHandle fh, uint32_t maxBytes)
 {
     stats_.requests.inc();
-    obs::SpanId span = beginOp("clerk_readdir");
+    ClerkOp op = beginOp("clerk_readdir");
     co_await enter();
     if (params_.enableLocalCache) {
         if (auto it = dirCache_.find(fh.key()); it != dirCache_.end()) {
             stats_.localHits.inc();
             std::vector<DirEntry> entries = it->second;
             co_await leave();
-            obs::TraceRecorder::instance().endSpan(span);
+            endOp(op, "clerk_readdir");
             co_return entries;
         }
     }
     stats_.backendCalls.inc();
-    auto result = co_await backend_.readdir(fh, maxBytes);
+    auto result = co_await [&] {
+        obs::OpScope traceScope(op.op);
+        return backend_.readdir(fh, maxBytes);
+    }();
     if (result.ok() && params_.enableLocalCache) {
         dirCache_[fh.key()] = result.value();
     }
     co_await leave();
-    obs::TraceRecorder::instance().endSpan(span);
+    endOp(op, "clerk_readdir");
     co_return result;
 }
 
@@ -259,23 +296,26 @@ sim::Task<util::Result<FsStat>>
 ServerClerk::statfs()
 {
     stats_.requests.inc();
-    obs::SpanId span = beginOp("clerk_statfs");
+    ClerkOp op = beginOp("clerk_statfs");
     co_await enter();
     if (params_.enableLocalCache && statValid_) {
         stats_.localHits.inc();
         FsStat s = statCache_;
         co_await leave();
-        obs::TraceRecorder::instance().endSpan(span);
+        endOp(op, "clerk_statfs");
         co_return s;
     }
     stats_.backendCalls.inc();
-    auto result = co_await backend_.statfs();
+    auto result = co_await [&] {
+        obs::OpScope traceScope(op.op);
+        return backend_.statfs();
+    }();
     if (result.ok() && params_.enableLocalCache) {
         statCache_ = result.value();
         statValid_ = true;
     }
     co_await leave();
-    obs::TraceRecorder::instance().endSpan(span);
+    endOp(op, "clerk_statfs");
     co_return result;
 }
 

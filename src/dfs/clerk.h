@@ -110,8 +110,24 @@ class ServerClerk
     /** Charge the clerk->client local RPC return path. */
     sim::Task<void> leave();
 
-    /** Open a trace span for clerk op @p op (kNoSpan when off). */
-    obs::SpanId beginOp(const char *op);
+    /** One in-flight clerk operation's trace context. */
+    struct ClerkOp
+    {
+        /** Span covering the clerk's own work (kNoSpan when off). */
+        obs::SpanId span = obs::kNoSpan;
+        /** Async op rooting this operation's cross-node DAG. */
+        uint64_t op = 0;
+    };
+
+    /**
+     * Open the trace context for clerk op @p op: an async op (so the
+     * backend's remote transfers become its children in the DAG) plus
+     * a span attributed to it.
+     */
+    ClerkOp beginOp(const char *op);
+
+    /** Close a ClerkOp (span + async end); no-op when tracing is off. */
+    void endOp(const ClerkOp &op, const char *name);
 
     sim::CpuResource &cpu_;
     FileServiceBackend &backend_;

@@ -79,6 +79,7 @@ Aal5Reassembler::feed(const Cell &cell)
     framesOk_.inc();
     Frame f;
     f.srcVci = cell.vci;
+    f.traceOp = cell.traceOp;
     f.payload.assign(pdu.begin(), pdu.begin() + length);
     return f;
 }

@@ -57,6 +57,8 @@ class Aal5Reassembler
     struct Frame
     {
         uint16_t srcVci;
+        /** Trace op carried by the frame's final cell (0 = untraced). */
+        uint64_t traceOp = 0;
         std::vector<uint8_t> payload;
     };
 

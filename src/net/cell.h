@@ -44,6 +44,15 @@ struct Cell
     uint8_t pti = 0;
     /** Cell loss priority (unused by remora; kept for format fidelity). */
     bool clp = false;
+    /**
+     * Trace correlation id riding alongside the cell (0 = untraced).
+     * Models the op tag a real adapter would carry in a proprietary
+     * header extension; it is NOT part of the 53 wire octets (encode()
+     * ignores it, decode() leaves it 0) so the calibrated single-cell
+     * size properties are untouched. Cells travel by value through the
+     * FIFOs, links, and switch, so the tag survives end to end.
+     */
+    uint64_t traceOp = 0;
     /** Payload octets. */
     std::array<uint8_t, kPayloadBytes> payload{};
 

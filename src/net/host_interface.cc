@@ -82,6 +82,15 @@ HostInterface::acceptCell(const Cell &cell)
     cellsRx_.inc();
     sim_.noteDigest("net.rx",
                     static_cast<uint64_t>(cell.vpi) << 16 | cell.vci);
+    if (cell.traceOp != 0 && cell.lastOfFrame() && obs::TraceRecorder::on()) {
+        // Arrival anchor for the critical-path analyzer: this is the
+        // moment the op's frame has fully crossed the wire; everything
+        // between here and the drain span is controller + queueing.
+        obs::TraceRecorder::instance().instantFor(
+            cell.traceOp, nodeOf(name_), "net",
+            obs::kCellArrivalEvent,
+            "src=" + std::to_string(cell.vci));
+    }
     if (!interruptPending_ && rxInterrupt_) {
         interruptPending_ = true;
         sim_.schedule(params_.interruptLatency, [this] {

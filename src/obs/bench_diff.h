@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Bench regression comparison: baseline report vs candidate report.
+ *
+ * The regression gate (scripts/check.sh --bench) re-runs the benches,
+ * then compares each fresh BENCH_<name>.json against the checked-in
+ * copy under bench/baselines/. A metric fails when its relative change
+ * exceeds its tolerance (two-sided: surprise speedups want the
+ * baseline refreshed, not ignored); a metric or check that disappears
+ * fails structurally; a check that flips to false fails. New metrics
+ * in the candidate are reported but do not fail — they are what a
+ * baseline refresh is for.
+ *
+ * The comparison logic lives here in the library (not in the CLI) so
+ * the unit tests can drive it on synthetic reports — including the
+ * injected-regression case the gate is contractually required to
+ * catch.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace remora::obs {
+
+/** Comparison knobs. */
+struct BenchDiffOptions
+{
+    /** Two-sided relative tolerance applied when no override matches. */
+    double defaultTolerancePct = 5.0;
+    /** Per-metric overrides, full dotted metric name -> tolerance pct. */
+    std::map<std::string, double> tolerances;
+};
+
+/** One compared metric. */
+struct BenchDiffEntry
+{
+    std::string metric;
+    double baseline = 0.0;
+    double candidate = 0.0;
+    /** Relative change, percent (0 when baseline == 0). */
+    double deltaPct = 0.0;
+    double tolerancePct = 0.0;
+    bool ok = true;
+};
+
+/** Outcome of comparing one bench's reports. */
+struct BenchDiffResult
+{
+    /** Bench name from the baseline report. */
+    std::string bench;
+    /** Per-metric comparisons, baseline order. */
+    std::vector<BenchDiffEntry> entries;
+    /** Structural failures: missing metrics, flipped checks, bad JSON. */
+    std::vector<std::string> errors;
+    /** Candidate-only metric names (informational). */
+    std::vector<std::string> fresh;
+
+    /** True when every metric is within tolerance and errors is empty. */
+    bool pass() const;
+
+    /** Human-readable rendering, one line per finding. */
+    std::string render() const;
+};
+
+/**
+ * Compare two parsed bench reports.
+ *
+ * @param baseline The checked-in reference report.
+ * @param candidate The freshly generated report.
+ * @param opts Tolerances.
+ */
+BenchDiffResult diffReports(const util::JsonValue &baseline,
+                            const util::JsonValue &candidate,
+                            const BenchDiffOptions &opts = {});
+
+/** diffReports() over raw JSON text; parse errors land in errors. */
+BenchDiffResult diffReportText(const std::string &baselineText,
+                               const std::string &candidateText,
+                               const BenchDiffOptions &opts = {});
+
+} // namespace remora::obs

@@ -10,6 +10,7 @@
 namespace remora::obs {
 
 bool TraceRecorder::on_ = false;
+uint64_t TraceRecorder::currentOp_ = 0;
 
 TraceRecorder &
 TraceRecorder::instance()
@@ -55,6 +56,9 @@ TraceRecorder::push(TraceEvent &&ev)
         return kNoSpan;
     }
     ev.ts = sim_->now();
+    if (ev.op == 0) {
+        ev.op = currentOp_;
+    }
     events_.push_back(std::move(ev));
     return events_.size() - 1;
 }
@@ -65,6 +69,21 @@ TraceRecorder::beginSpan(std::string_view node, std::string_view comp,
 {
     TraceEvent ev;
     ev.phase = TracePhase::kSpan;
+    ev.node = node;
+    ev.comp = comp;
+    ev.name = name;
+    ev.detail = std::move(detail);
+    return push(std::move(ev));
+}
+
+SpanId
+TraceRecorder::beginSpanFor(uint64_t op, std::string_view node,
+                            std::string_view comp, std::string_view name,
+                            std::string detail)
+{
+    TraceEvent ev;
+    ev.phase = TracePhase::kSpan;
+    ev.op = op;
     ev.node = node;
     ev.comp = comp;
     ev.name = name;
@@ -99,6 +118,21 @@ TraceRecorder::instant(std::string_view node, std::string_view comp,
 }
 
 void
+TraceRecorder::instantFor(uint64_t op, std::string_view node,
+                          std::string_view comp, std::string_view name,
+                          std::string detail)
+{
+    TraceEvent ev;
+    ev.phase = TracePhase::kInstant;
+    ev.op = op;
+    ev.node = node;
+    ev.comp = comp;
+    ev.name = name;
+    ev.detail = std::move(detail);
+    push(std::move(ev));
+}
+
+void
 TraceRecorder::asyncBegin(uint64_t id, std::string_view node,
                           std::string_view comp, std::string_view name,
                           std::string detail)
@@ -106,6 +140,8 @@ TraceRecorder::asyncBegin(uint64_t id, std::string_view node,
     TraceEvent ev;
     ev.phase = TracePhase::kAsyncBegin;
     ev.id = id;
+    ev.op = id;
+    ev.parent = currentOp_;
     ev.node = node;
     ev.comp = comp;
     ev.name = name;
@@ -121,6 +157,7 @@ TraceRecorder::asyncEnd(uint64_t id, std::string_view node,
     TraceEvent ev;
     ev.phase = TracePhase::kAsyncEnd;
     ev.id = id;
+    ev.op = id;
     ev.node = node;
     ev.comp = comp;
     ev.name = name;
@@ -169,6 +206,15 @@ TraceRecorder::toChromeJson() const
             .kv("name", node)
             .endObject()
             .endObject();
+        w.beginObject()
+            .kv("name", "process_sort_index")
+            .kv("ph", "M")
+            .kv("pid", static_cast<int64_t>(pid))
+            .key("args")
+            .beginObject()
+            .kv("sort_index", static_cast<int64_t>(pid))
+            .endObject()
+            .endObject();
     }
     for (const auto &[key, tid] : tids) {
         w.beginObject()
@@ -179,6 +225,16 @@ TraceRecorder::toChromeJson() const
             .key("args")
             .beginObject()
             .kv("name", key.second)
+            .endObject()
+            .endObject();
+        w.beginObject()
+            .kv("name", "thread_sort_index")
+            .kv("ph", "M")
+            .kv("pid", static_cast<int64_t>(pids.at(key.first)))
+            .kv("tid", static_cast<int64_t>(tid))
+            .key("args")
+            .beginObject()
+            .kv("sort_index", static_cast<int64_t>(tid))
             .endObject()
             .endObject();
     }
@@ -208,8 +264,18 @@ TraceRecorder::toChromeJson() const
             w.kv("ph", "e").kv("id", ev.id);
             break;
         }
-        if (!ev.detail.empty()) {
-            w.key("args").beginObject().kv("detail", ev.detail).endObject();
+        if (!ev.detail.empty() || ev.op != 0 || ev.parent != 0) {
+            w.key("args").beginObject();
+            if (!ev.detail.empty()) {
+                w.kv("detail", ev.detail);
+            }
+            if (ev.op != 0) {
+                w.kv("op", ev.op);
+            }
+            if (ev.parent != 0) {
+                w.kv("parent", ev.parent);
+            }
+            w.endObject();
         }
         w.endObject();
     }

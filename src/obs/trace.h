@@ -54,6 +54,20 @@ struct TraceEvent
     sim::Duration dur = -1;
     /** Correlation id (async phases only). */
     uint64_t id = 0;
+    /**
+     * The async op this event belongs to (0 = unattributed). For async
+     * phases this equals @ref id; for spans and instants it is adopted
+     * from the ambient OpScope or passed explicitly via the *For()
+     * variants. This is what stitches per-node events into one
+     * cross-node DAG.
+     */
+    uint64_t op = 0;
+    /**
+     * Enclosing async op at asyncBegin time (0 = root). Captured from
+     * the ambient scope so nested ops (an RPC built from rmem writes,
+     * a DFS op built from RPCs) form a tree.
+     */
+    uint64_t parent = 0;
     /** Node scope (Chrome "process"), e.g. "client". */
     std::string node;
     /** Component scope (Chrome "thread"), e.g. "rmem". */
@@ -69,6 +83,14 @@ using SpanId = size_t;
 
 /** Sentinel handle returned when recording is disabled. */
 inline constexpr SpanId kNoSpan = static_cast<SpanId>(-1);
+
+/**
+ * Instant emitted by the host interface when the last cell of an
+ * op-stamped frame lands in the RX FIFO. The critical-path analyzer
+ * keys on this name to split a cross-node gap into wire time (up to
+ * the arrival) and controller/queueing time (after it).
+ */
+inline constexpr std::string_view kCellArrivalEvent = "cell_rx";
 
 /** The process-wide trace recorder. */
 class TraceRecorder
@@ -108,6 +130,18 @@ class TraceRecorder
     uint64_t newAsyncId() { return nextAsyncId_++; }
 
     /**
+     * The async op ambient in the current synchronous call chain
+     * (0 = none). Established by OpScope; spans and instants recorded
+     * while a scope is live are stamped with it automatically.
+     *
+     * Ambient context does NOT survive coroutine suspension — a
+     * coroutine resumed from the event queue runs outside the scope it
+     * was created under. Coroutine code must capture the op id and use
+     * the explicit *For() variants instead.
+     */
+    static uint64_t currentOp() { return currentOp_; }
+
+    /**
      * Open a span on (node, comp) starting now.
      *
      * @return Handle for endSpan(), or kNoSpan when disabled/full.
@@ -115,12 +149,22 @@ class TraceRecorder
     SpanId beginSpan(std::string_view node, std::string_view comp,
                      std::string_view name, std::string detail = {});
 
+    /** beginSpan() attributed to async op @p op (for coroutine code). */
+    SpanId beginSpanFor(uint64_t op, std::string_view node,
+                        std::string_view comp, std::string_view name,
+                        std::string detail = {});
+
     /** Close a span; kNoSpan and stale handles are ignored. */
     void endSpan(SpanId span);
 
     /** Record a point event. */
     void instant(std::string_view node, std::string_view comp,
                  std::string_view name, std::string detail = {});
+
+    /** instant() attributed to async op @p op (for coroutine code). */
+    void instantFor(uint64_t op, std::string_view node,
+                    std::string_view comp, std::string_view name,
+                    std::string detail = {});
 
     /** Open async op @p id (correlates across nodes). */
     void asyncBegin(uint64_t id, std::string_view node, std::string_view comp,
@@ -156,11 +200,43 @@ class TraceRecorder
     SpanId push(TraceEvent &&ev);
 
     static bool on_;
+    static uint64_t currentOp_;
     sim::Simulator *sim_ = nullptr;
     std::vector<TraceEvent> events_;
     size_t capacity_ = 1u << 20;
     uint64_t dropped_ = 0;
     uint64_t nextAsyncId_ = 1;
+
+    friend class OpScope;
+};
+
+/**
+ * RAII ambient op context: while alive, spans and instants recorded in
+ * the same synchronous call chain are stamped with @p op, and nested
+ * asyncBegin()s record it as their parent. Scopes nest (saved/restored
+ * like a stack variable).
+ *
+ * Only valid across straight-line code — never hold one across a
+ * co_await; the resumption runs from the event queue with whatever
+ * scope happens to be live there. Deferred callbacks (cpu.post
+ * lambdas) should capture currentOp() at creation and re-establish an
+ * OpScope inside the lambda body.
+ */
+class OpScope
+{
+  public:
+    explicit OpScope(uint64_t op) : saved_(TraceRecorder::currentOp_)
+    {
+        TraceRecorder::currentOp_ = op;
+    }
+
+    OpScope(const OpScope &) = delete;
+    OpScope &operator=(const OpScope &) = delete;
+
+    ~OpScope() { TraceRecorder::currentOp_ = saved_; }
+
+  private:
+    uint64_t saved_;
 };
 
 /**

@@ -68,6 +68,7 @@ RmemEngine::exportSegment(mem::Process &owner, mem::Vaddr base, uint32_t size,
                      sim::CpuCategory::kOther);
     const SegmentDescriptor *d = table_.get(slot.value());
     REMORA_ASSERT(d != nullptr);
+    d->channel->setTraceNode(node_.name());
     if (RaceDetector::on()) {
         // Shadow the segment, attribute the channel's consumers to
         // this node, and let the detector see the exporter's own
@@ -187,9 +188,16 @@ RmemEngine::write(ImportedSegment dst, uint32_t offset,
                            std::to_string(dst.node));
     }
 
-    // Sender-side emulation: trap + rights verification.
+    // Sender-side emulation: trap + rights verification. Op passed
+    // explicitly: the coroutine resumes outside any ambient scope.
+    obs::SpanId issueSpan = obs::kNoSpan;
+    if (opId != 0) {
+        issueSpan = obs::TraceRecorder::instance().beginSpanFor(
+            opId, node_.name(), "rmem", "issue");
+    }
     co_await node_.cpu().use(costs_.trapOverhead + costs_.validateCost,
                              sim::CpuCategory::kOther);
+    obs::TraceRecorder::instance().endSpan(issueSpan);
 
     size_t pos = 0;
     do {
@@ -202,7 +210,7 @@ RmemEngine::write(ImportedSegment dst, uint32_t offset,
         req.data.assign(data.begin() + static_cast<ptrdiff_t>(pos),
                         data.begin() + static_cast<ptrdiff_t>(pos + chunk));
         auto accepted = wire_.send(dst.node, Message(std::move(req)),
-                                   sim::CpuCategory::kDataReply);
+                                   sim::CpuCategory::kDataReply, opId);
         pos += chunk;
         if (pos >= data.size()) {
             // Local completion: data accepted by the network.
@@ -263,8 +271,14 @@ RmemEngine::read(ImportedSegment src, uint32_t srcOff, SegmentId dstSeg,
     sim::Duration wireTime = 0;
     sim::Duration controllerTime = 0;
 
+    obs::SpanId issueSpan = obs::kNoSpan;
+    if (opId != 0) {
+        issueSpan = obs::TraceRecorder::instance().beginSpanFor(
+            opId, node_.name(), "rmem", "issue");
+    }
     co_await node_.cpu().use(costs_.trapOverhead + costs_.validateCost,
                              sim::CpuCategory::kOther);
+    obs::TraceRecorder::instance().endSpan(issueSpan);
 
     ReadOutcome total{util::Status(), {}};
     total.data.reserve(count);
@@ -310,7 +324,8 @@ RmemEngine::read(ImportedSegment src, uint32_t srcOff, SegmentId dstSeg,
         req.count = static_cast<uint16_t>(chunk);
         req.reqId = id;
         req.notify = notify && lastChunk;
-        wire_.send(src.node, Message(req), sim::CpuCategory::kDataReply);
+        wire_.send(src.node, Message(req), sim::CpuCategory::kDataReply,
+                   opId);
 
         // One request cell out; the response is one raw cell when it
         // fits, otherwise an AAL5 frame. Each chunk also pays a server
@@ -380,8 +395,14 @@ RmemEngine::cas(ImportedSegment dst, uint32_t offset, uint32_t oldValue,
                        "dst=" + std::to_string(dst.node));
     }
 
+    obs::SpanId issueSpan = obs::kNoSpan;
+    if (opId != 0) {
+        issueSpan = obs::TraceRecorder::instance().beginSpanFor(
+            opId, node_.name(), "rmem", "issue");
+    }
     co_await node_.cpu().use(costs_.trapOverhead + costs_.validateCost,
                              sim::CpuCategory::kOther);
+    obs::TraceRecorder::instance().endSpan(issueSpan);
 
     ReqId id = allocReqId();
     auto [it, inserted] = pendingCas_.try_emplace(
@@ -414,7 +435,7 @@ RmemEngine::cas(ImportedSegment dst, uint32_t offset, uint32_t oldValue,
     req.resultDescriptor = resultSeg;
     req.resultOffset = resultOff;
     req.reqId = id;
-    wire_.send(dst.node, Message(req), sim::CpuCategory::kDataReply);
+    wire_.send(dst.node, Message(req), sim::CpuCategory::kDataReply, opId);
 
     CasOutcome out = co_await fut;
     if (out.status.ok()) {
@@ -466,11 +487,16 @@ RmemEngine::serveWrite(net::NodeId src, WriteReq &&req)
             "bytes=" + std::to_string(req.data.size()) + " from=" +
                 std::to_string(src));
     }
+    // The dispatch runs under route()'s OpScope; deferred stages must
+    // carry the op themselves and re-establish it, so the NAK/notify/
+    // reply sends they make still join the initiator's DAG.
+    uint64_t op = obs::TraceRecorder::currentOp();
     auto &cpu = node_.cpu();
     // Stage 1: demux + validation.
     cpu.post(costs_.msgHandleCost + costs_.validateCost,
              sim::CpuCategory::kDataReceive,
-             [this, src, span, req = std::move(req)]() mutable {
+             [this, src, span, op, req = std::move(req)]() mutable {
+                 obs::OpScope opScope(op);
                  auto v = table_.validate(req.descriptor, req.generation,
                                           req.offset, req.data.size(),
                                           Rights::kWrite);
@@ -488,7 +514,9 @@ RmemEngine::serveWrite(net::NodeId src, WriteReq &&req)
                      translateCost(costs_, req.offset, req.data.size()) +
                      costs_.copyCost(req.data.size());
                  cpu2.post(cost, sim::CpuCategory::kDataReceive,
-                           [this, src, span, req = std::move(req)]() mutable {
+                           [this, src, span, op,
+                            req = std::move(req)]() mutable {
+                               obs::OpScope opScope(op);
                                // Re-validate: the segment may have been
                                // revoked while the copy was in flight.
                                auto v2 = table_.validate(
@@ -542,9 +570,12 @@ RmemEngine::serveRead(net::NodeId src, ReadReq &&req)
             "count=" + std::to_string(req.count) + " from=" +
                 std::to_string(src));
     }
+    uint64_t op = obs::TraceRecorder::currentOp();
     auto &cpu = node_.cpu();
     cpu.post(costs_.msgHandleCost + costs_.validateCost,
-             sim::CpuCategory::kDataReceive, [this, src, span, req]() mutable {
+             sim::CpuCategory::kDataReceive,
+             [this, src, span, op, req]() mutable {
+                 obs::OpScope opScope(op);
                  auto v = table_.validate(req.srcDescriptor, req.generation,
                                           req.srcOffset, req.count,
                                           Rights::kRead);
@@ -560,7 +591,8 @@ RmemEngine::serveRead(net::NodeId src, ReadReq &&req)
                      costs_.copyCost(req.count);
                  node_.cpu().post(
                      cost, sim::CpuCategory::kDataReply,
-                     [this, src, span, req]() mutable {
+                     [this, src, span, op, req]() mutable {
+                         obs::OpScope opScope(op);
                          auto v2 = table_.validate(req.srcDescriptor,
                                                    req.generation,
                                                    req.srcOffset, req.count,
@@ -617,10 +649,12 @@ RmemEngine::serveCas(net::NodeId src, CasReq &&req)
             node_.name(), "rmem", "serve_cas",
             "from=" + std::to_string(src));
     }
+    uint64_t op = obs::TraceRecorder::currentOp();
     auto &cpu = node_.cpu();
     cpu.post(
         costs_.msgHandleCost + costs_.validateCost + costs_.casExecCost,
-        sim::CpuCategory::kDataReceive, [this, src, span, req]() mutable {
+        sim::CpuCategory::kDataReceive, [this, src, span, op, req]() mutable {
+            obs::OpScope opScope(op);
             auto v = table_.validate(req.descriptor, req.generation,
                                      req.offset, 4, Rights::kCas);
             if (!v.ok() || req.offset % 4 != 0) {
@@ -685,12 +719,14 @@ RmemEngine::completeRead(net::NodeId src, ReadResp &&resp)
             node_.name(), "rmem", "deposit_read",
             "bytes=" + std::to_string(resp.data.size()));
     }
+    uint64_t op = obs::TraceRecorder::currentOp();
     sim::Duration cost =
         costs_.msgHandleCost + costs_.copyCost(resp.data.size());
     node_.cpu().post(
         cost, sim::CpuCategory::kDataReceive,
-        [this, src, span, p = std::move(p),
+        [this, src, span, op, p = std::move(p),
          data = std::move(resp.data)]() mutable {
+            obs::OpScope opScope(op);
             mem::Process *proc = node_.findProcess(p.dstPid);
             if (proc != nullptr) {
                 RaceDetector::ScopedActor raceScope(
@@ -729,10 +765,12 @@ RmemEngine::completeCas(net::NodeId src, CasResp &&resp)
             node_.name(), "rmem", "deposit_cas",
             resp.success ? "success" : "failure");
     }
+    uint64_t op = obs::TraceRecorder::currentOp();
     node_.cpu().post(
         costs_.msgHandleCost + costs_.copyWordCost,
         sim::CpuCategory::kDataReceive,
-        [this, span, p = std::move(p), resp]() mutable {
+        [this, span, op, p = std::move(p), resp]() mutable {
+            obs::OpScope opScope(op);
             mem::Process *proc = node_.findProcess(p.resultPid);
             if (proc != nullptr) {
                 util::Status ws = proc->space().writeWord(

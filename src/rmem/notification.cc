@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "rmem/race_detector.h"
 #include "util/panic.h"
 
@@ -37,6 +38,11 @@ NotificationChannel::next()
         // Consuming the record is the acquire side of the delivery edge.
         RaceDetector::instance().acquireToken(this, raceOwner_);
     }
+    if (obs::TraceRecorder::on() && n.traceOp != 0 && !traceNode_.empty()) {
+        // Adoption at consumption: links the reader to the op's DAG.
+        obs::TraceRecorder::instance().instantFor(
+            n.traceOp, traceNode_, "notify", "notify_consume", "kind=read");
+    }
     co_return n;
 }
 
@@ -51,6 +57,12 @@ NotificationChannel::tryNext(Notification &out)
     if (RaceDetector::on()) {
         RaceDetector::instance().acquireToken(this, raceOwner_);
     }
+    if (obs::TraceRecorder::on() && out.traceOp != 0 &&
+        !traceNode_.empty()) {
+        obs::TraceRecorder::instance().instantFor(
+            out.traceOp, traceNode_, "notify", "notify_consume",
+            "kind=poll");
+    }
     return true;
 }
 
@@ -64,6 +76,11 @@ NotificationChannel::setSignalHandler(
 void
 NotificationChannel::post(const Notification &n)
 {
+    Notification rec = n;
+    if (rec.traceOp == 0) {
+        // The serving engine posts under the initiator op's OpScope.
+        rec.traceOp = obs::TraceRecorder::currentOp();
+    }
     ++delivered_;
     if (RaceDetector::on()) {
         // Posting releases the poster's clock into the channel: a
@@ -75,18 +92,26 @@ NotificationChannel::post(const Notification &n)
         det.releaseToken(this, det.currentActor(raceOwner_));
     }
     if (signalHandler_) {
-        // Signal delivery: dispatch cost, then the handler upcall.
+        // Signal delivery: dispatch cost, then the handler upcall. The
+        // op rides in the record and is re-established for the upcall
+        // (adoption at notification delivery).
         cpu_.post(costs_.notifyDispatchCost,
-                  sim::CpuCategory::kControlTransfer, [this, n] {
+                  sim::CpuCategory::kControlTransfer, [this, rec] {
                       if (RaceDetector::on()) {
                           RaceDetector::instance().acquireToken(this,
                                                                 raceOwner_);
                       }
-                      signalHandler_(n);
+                      obs::OpScope opScope(rec.traceOp);
+                      if (obs::TraceRecorder::on() && !traceNode_.empty()) {
+                          obs::TraceRecorder::instance().instant(
+                              traceNode_, "notify", "notify_deliver",
+                              "kind=signal");
+                      }
+                      signalHandler_(rec);
                   });
         return;
     }
-    queue_.push_back(n);
+    queue_.push_back(rec);
     wakeConsumers();
 }
 

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "net/cell.h"
@@ -53,6 +54,13 @@ struct Notification
     uint32_t offset = 0;
     /** Bytes the request covered. */
     uint32_t count = 0;
+    /**
+     * Async op of the request that triggered the notification
+     * (0 = untraced). Carried through the queue so the consumer's
+     * events link into the initiator's trace DAG — the control
+     * transfer is part of the op's critical path.
+     */
+    uint64_t traceOp = 0;
 };
 
 /** Per-segment notification descriptor (the paper's segment fd). */
@@ -117,6 +125,12 @@ class NotificationChannel
      */
     void setRaceContext(uint32_t actor) { raceOwner_ = actor; }
 
+    /**
+     * Node scope used for this channel's trace events (set by the
+     * engine at export time; empty disables channel tracing).
+     */
+    void setTraceNode(std::string node) { traceNode_ = std::move(node); }
+
     /** The owning node's simulator (wakeups order through its queue). */
     sim::Simulator &simulator() { return cpu_.simulator(); }
 
@@ -133,6 +147,7 @@ class NotificationChannel
     std::coroutine_handle<> reader_;
     uint64_t delivered_ = 0;
     uint32_t raceOwner_ = 0;
+    std::string traceNode_;
 };
 
 /**

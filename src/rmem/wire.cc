@@ -16,8 +16,12 @@ Wire::Wire(mem::Node &node, const CostModel &costs)
 }
 
 sim::Future<void>
-Wire::send(net::NodeId dst, const Message &msg, sim::CpuCategory category)
+Wire::send(net::NodeId dst, const Message &msg, sim::CpuCategory category,
+           uint64_t traceOp)
 {
+    if (traceOp == 0) {
+        traceOp = obs::TraceRecorder::currentOp();
+    }
     std::vector<uint8_t> bytes = encodeMessage(msg);
     msgsSent_.inc();
     bytesSent_.inc(bytes.size());
@@ -34,6 +38,9 @@ Wire::send(net::NodeId dst, const Message &msg, sim::CpuCategory category)
         cells.push_back(c);
     } else {
         cells = net::aal5Segment(dst, node_.id(), bytes);
+    }
+    for (net::Cell &c : cells) {
+        c.traceOp = traceOp;
     }
 
     // Raw single-cell messages come from registers (cheap PIO of only
@@ -58,8 +65,8 @@ Wire::send(net::NodeId dst, const Message &msg, sim::CpuCategory category)
     // enters the TX FIFO (the "accepted by the network" point).
     obs::SpanId txSpan = obs::kNoSpan;
     if (obs::TraceRecorder::on()) {
-        txSpan = obs::TraceRecorder::instance().beginSpan(
-            node_.name(), "net", "tx_frame",
+        txSpan = obs::TraceRecorder::instance().beginSpanFor(
+            traceOp, node_.name(), "net", "tx_frame",
             std::string(msgTypeName(messageType(msg))) + " dst=" +
                 std::to_string(dst) + " bytes=" +
                 std::to_string(bytes.size()) + " cells=" +
@@ -127,13 +134,24 @@ Wire::drainLoop()
                 drainCost += static_cast<sim::Duration>((consumed + 3) / 4) *
                              costs_.byteSwapWordCost;
             }
+            // Op-attributed span over this message's own drain PIO, so
+            // the critical-path analyzer books it as software rather
+            // than leaving a gap (we're inside a coroutine, so the op
+            // must be passed explicitly — ambient scope won't survive).
+            obs::SpanId msgSpan = obs::kNoSpan;
+            if (obs::TraceRecorder::on() && cell->traceOp != 0) {
+                msgSpan = obs::TraceRecorder::instance().beginSpanFor(
+                    cell->traceOp, node_.name(), "net", "rx_msg_pio",
+                    "src=" + std::to_string(cell->vci));
+            }
             co_await cpu.use(drainCost, sim::CpuCategory::kDataReceive);
+            obs::TraceRecorder::instance().endSpan(msgSpan);
             if (!decoded.ok()) {
                 decodeErrors_.inc();
                 continue;
             }
             msgsReceived_.inc();
-            route(cell->vci, decoded.take());
+            route(cell->vci, decoded.take(), cell->traceOp);
         } else {
             // Memory-bound block path: whole cells, word at a time.
             sim::Duration drainCost =
@@ -145,7 +163,14 @@ Wire::drainLoop()
                                                4) *
                     costs_.byteSwapWordCost;
             }
+            obs::SpanId cellSpan = obs::kNoSpan;
+            if (obs::TraceRecorder::on() && cell->traceOp != 0) {
+                cellSpan = obs::TraceRecorder::instance().beginSpanFor(
+                    cell->traceOp, node_.name(), "net", "rx_cell_pio",
+                    "src=" + std::to_string(cell->vci));
+            }
             co_await cpu.use(drainCost, sim::CpuCategory::kDataReceive);
+            obs::TraceRecorder::instance().endSpan(cellSpan);
             if (auto frame = reassembler_.feed(*cell)) {
                 auto decoded = decodeMessage(frame->payload);
                 if (!decoded.ok()) {
@@ -153,7 +178,7 @@ Wire::drainLoop()
                     continue;
                 }
                 msgsReceived_.inc();
-                route(frame->srcVci, decoded.take());
+                route(frame->srcVci, decoded.take(), frame->traceOp);
             }
         }
     }
@@ -172,8 +197,12 @@ Wire::registerStats(obs::MetricRegistry &reg, const std::string &prefix) const
 }
 
 void
-Wire::route(net::NodeId src, Message &&msg)
+Wire::route(net::NodeId src, Message &&msg, uint64_t traceOp)
 {
+    // Dispatch runs synchronously under the sender's op: the handler's
+    // spans (serve_*, deposit_*) and any deferred work it schedules
+    // adopt the op from this scope and join the cross-node DAG.
+    obs::OpScope opScope(traceOp);
     bool isRpc = messageType(msg) == MsgType::kRpc;
     if (obs::TraceRecorder::on()) {
         obs::TraceRecorder::instance().instant(

@@ -80,9 +80,13 @@ class Wire
      *
      * @return Future resolved when the last cell has been accepted by
      *         the NIC (the paper's "accepted by the network" point).
+     *
+     * @param traceOp Async op this transmission belongs to; cells are
+     *        stamped with it so the receiver links its events into the
+     *        same trace DAG. 0 adopts the ambient OpScope (if any).
      */
     sim::Future<void> send(net::NodeId dst, const Message &msg,
-                           sim::CpuCategory category);
+                           sim::CpuCategory category, uint64_t traceOp = 0);
 
     /** Messages sent, by count. */
     uint64_t messagesSent() const { return msgsSent_.value(); }
@@ -116,8 +120,11 @@ class Wire
     /** Drain the RX FIFO, charging PIO per cell, dispatching messages. */
     sim::Task<void> drainLoop();
 
-    /** Hand one decoded message to the registered handler. */
-    void route(net::NodeId src, Message &&msg);
+    /**
+     * Hand one decoded message to the registered handler, with
+     * @p traceOp ambient so the handler's spans join the sender's op.
+     */
+    void route(net::NodeId src, Message &&msg, uint64_t traceOp);
 
     mem::Node &node_;
     CostModel costs_;

@@ -1,6 +1,7 @@
 #include "rpc/hybrid1.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "obs/trace.h"
 #include "rmem/race_detector.h"
@@ -72,18 +73,18 @@ Hybrid1Server::serveLoop()
         if (slot >= params_.slots) {
             continue; // stray write outside any slot
         }
-        co_await serveOne(n.srcNode, slot);
+        co_await serveOne(n.srcNode, slot, n.traceOp);
     }
 }
 
 sim::Task<void>
-Hybrid1Server::serveOne(net::NodeId src, uint32_t slot)
+Hybrid1Server::serveOne(net::NodeId src, uint32_t slot, uint64_t traceOp)
 {
     // Explicit span: the coroutine suspends across the procedure body.
     obs::SpanId span = obs::kNoSpan;
     if (obs::TraceRecorder::on()) {
-        span = obs::TraceRecorder::instance().beginSpan(
-            engine_.node().name(), "rpc", "serve_one",
+        span = obs::TraceRecorder::instance().beginSpanFor(
+            traceOp, engine_.node().name(), "rpc", "serve_one",
             "slot=" + std::to_string(slot) + " from=" + std::to_string(src));
     }
     auto &cpu = engine_.node().cpu();
@@ -131,7 +132,14 @@ Hybrid1Server::serveOne(net::NodeId src, uint32_t slot)
     w.putU32(0); // status ok
     w.putU32(static_cast<uint32_t>(results.size()));
     w.putBytes(results);
-    util::Status ws = co_await engine_.write(reply, 0, w.take(), false);
+    // engine_.write starts eagerly, so its asyncBegin runs while the
+    // scope is live and records this request's op as its parent; the
+    // scope is dropped before suspending on the result.
+    std::optional<obs::OpScope> parentScope;
+    parentScope.emplace(traceOp);
+    auto writeTask = engine_.write(reply, 0, w.take(), false);
+    parentScope.reset();
+    util::Status ws = co_await writeTask;
     REMORA_ASSERT(ws.ok());
     obs::TraceRecorder::instance().endSpan(span);
 }
@@ -174,10 +182,18 @@ Hybrid1Client::call(std::vector<uint8_t> args, sim::Duration timeout)
 {
     REMORA_ASSERT(kReqHeader + args.size() <= params_.slotBytes);
     uint32_t seq = ++seq_;
+    // Async op for the whole call (request write, server work, reply
+    // write, spin-wait): runs eagerly here, so the caller's ambient
+    // scope becomes the parent.
+    uint64_t opId = 0;
     obs::SpanId span = obs::kNoSpan;
     if (obs::TraceRecorder::on()) {
-        span = obs::TraceRecorder::instance().beginSpan(
-            engine_.node().name(), "rpc", "call",
+        auto &rec = obs::TraceRecorder::instance();
+        opId = rec.newAsyncId();
+        rec.asyncBegin(opId, engine_.node().name(), "rpc", "hy_call",
+                       "seq=" + std::to_string(seq));
+        span = rec.beginSpanFor(
+            opId, engine_.node().name(), "rpc", "call",
             "args=" + std::to_string(args.size()) + " seq=" +
                 std::to_string(seq));
     }
@@ -192,11 +208,20 @@ Hybrid1Client::call(std::vector<uint8_t> args, sim::Duration timeout)
     w.putBytes(args);
 
     // The single write request, with notification: this is the one
-    // control transfer Hybrid-1 performs.
-    util::Status ws = co_await engine_.write(
+    // control transfer Hybrid-1 performs. Started under the call op's
+    // scope so the write becomes its child in the DAG.
+    std::optional<obs::OpScope> parentScope;
+    parentScope.emplace(opId);
+    auto writeTask = engine_.write(
         server_, slot_ * params_.slotBytes, w.take(), true);
+    parentScope.reset();
+    util::Status ws = co_await writeTask;
     if (!ws.ok()) {
-        obs::TraceRecorder::instance().endSpan(span);
+        auto &rec = obs::TraceRecorder::instance();
+        rec.endSpan(span);
+        if (opId != 0) {
+            rec.asyncEnd(opId, engine_.node().name(), "rpc", "hy_call");
+        }
         co_return ws;
     }
 
@@ -213,7 +238,12 @@ Hybrid1Client::call(std::vector<uint8_t> args, sim::Duration timeout)
             break;
         }
         if (sim.now() >= deadline) {
-            obs::TraceRecorder::instance().endSpan(span);
+            auto &rec = obs::TraceRecorder::instance();
+            rec.endSpan(span);
+            if (opId != 0) {
+                rec.asyncEnd(opId, engine_.node().name(), "rpc", "hy_call",
+                             "timeout");
+            }
             co_return util::Status(util::ErrorCode::kTimeout,
                                    "hybrid1 reply timed out");
         }
@@ -229,14 +259,25 @@ Hybrid1Client::call(std::vector<uint8_t> args, sim::Duration timeout)
     uint32_t status = r.getU32();
     uint32_t len = r.getU32();
     if (status != 0) {
-        obs::TraceRecorder::instance().endSpan(span);
+        auto &rec = obs::TraceRecorder::instance();
+        rec.endSpan(span);
+        if (opId != 0) {
+            rec.asyncEnd(opId, engine_.node().name(), "rpc", "hy_call",
+                         "remote failure");
+        }
         co_return util::Status(util::ErrorCode::kInternal,
                                "hybrid1 remote failure");
     }
     std::vector<uint8_t> data(len);
     rs = process_.space().read(replyBase_ + kRespHeader, data);
     REMORA_ASSERT(rs.ok());
-    obs::TraceRecorder::instance().endSpan(span);
+    {
+        auto &rec = obs::TraceRecorder::instance();
+        rec.endSpan(span);
+        if (opId != 0) {
+            rec.asyncEnd(opId, engine_.node().name(), "rpc", "hy_call");
+        }
+    }
     co_return data;
 }
 

@@ -81,8 +81,13 @@ class Hybrid1Server
     /** The dispatch loop: wait, parse, run, reply. */
     sim::Task<void> serveLoop();
 
-    /** Serve one request from @p slot. */
-    sim::Task<void> serveOne(net::NodeId src, uint32_t slot);
+    /**
+     * Serve one request from @p slot. @p traceOp is the async op of the
+     * client write that carried the notification, so the serve-side
+     * spans and the reply write join the caller's trace DAG.
+     */
+    sim::Task<void> serveOne(net::NodeId src, uint32_t slot,
+                             uint64_t traceOp);
 
     rmem::RmemEngine &engine_;
     mem::Process &process_;

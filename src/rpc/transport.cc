@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "rpc/marshal.h"
 #include "sim/logger.h"
 #include "util/panic.h"
@@ -39,13 +40,31 @@ RpcTransport::call(net::NodeId dst, uint32_t proc, std::vector<uint8_t> args,
     auto &sim = wire_.node().simulator();
     sim.noteDigest("rpc.call", static_cast<uint64_t>(dst) << 32 | proc);
 
+    // Runs eagerly at call time, so asyncBegin sees the caller's
+    // ambient OpScope and records it as this op's parent.
+    uint64_t opId = 0;
+    if (obs::TraceRecorder::on()) {
+        auto &rec = obs::TraceRecorder::instance();
+        opId = rec.newAsyncId();
+        rec.asyncBegin(opId, wire_.node().name(), "rpc", "call",
+                       "proc=" + std::to_string(proc) + " dst=" +
+                           std::to_string(dst));
+    }
+
     // Step 1: block the client thread and reschedule its processor.
+    obs::SpanId blockSpan = obs::kNoSpan;
+    if (opId != 0) {
+        blockSpan = obs::TraceRecorder::instance().beginSpanFor(
+            opId, wire_.node().name(), "rpc", "client_block");
+    }
     co_await cpu.use(costs_.clientBlock, sim::CpuCategory::kControlTransfer);
+    obs::TraceRecorder::instance().endSpan(blockSpan);
 
     uint32_t xid = nextXid_++;
     auto [it, inserted] = pending_.try_emplace(
         xid,
-        PendingCall{sim::Promise<util::Result<std::vector<uint8_t>>>(sim), 0});
+        PendingCall{sim::Promise<util::Result<std::vector<uint8_t>>>(sim), 0,
+                    opId});
     REMORA_ASSERT(inserted);
     auto fut = it->second.done.future();
     if (timeout > 0) {
@@ -71,7 +90,7 @@ RpcTransport::call(net::NodeId dst, uint32_t proc, std::vector<uint8_t> args,
     msg.isResponse = false;
     msg.body = m.take();
     wire_.send(dst, rmem::Message(std::move(msg)),
-               sim::CpuCategory::kDataReply);
+               sim::CpuCategory::kDataReply, opId);
 
     util::Result<std::vector<uint8_t>> result = co_await fut;
     co_return result;
@@ -93,6 +112,16 @@ RpcTransport::serve(net::NodeId src, uint32_t xid, std::vector<uint8_t> body)
 {
     stats_.callsServed.inc();
     auto &cpu = wire_.node().cpu();
+
+    // Body runs eagerly under route()'s OpScope; capture the op now,
+    // before the first suspension loses the ambient context.
+    uint64_t op = obs::TraceRecorder::currentOp();
+    obs::SpanId serveSpan = obs::kNoSpan;
+    if (obs::TraceRecorder::on() && op != 0) {
+        serveSpan = obs::TraceRecorder::instance().beginSpanFor(
+            op, wire_.node().name(), "rpc", "serve",
+            "xid=" + std::to_string(xid));
+    }
 
     // Step 2: request-packet processing in the destination OS. The
     // kernel socket path copies the payload twice (mbuf chain, then
@@ -135,8 +164,9 @@ RpcTransport::serve(net::NodeId src, uint32_t xid, std::vector<uint8_t> body)
     co_await cpu.use(costs_.serverReturn +
                          2 * wire_.costs().copyCost(msg.body.size()),
                      sim::CpuCategory::kControlTransfer);
+    obs::TraceRecorder::instance().endSpan(serveSpan);
     wire_.send(src, rmem::Message(std::move(msg)),
-               sim::CpuCategory::kDataReply);
+               sim::CpuCategory::kDataReply, op);
 }
 
 void
@@ -155,9 +185,21 @@ RpcTransport::completeCall(uint32_t xid, std::vector<uint8_t> body)
     // Steps 5 + 6: reply-packet processing, then schedule and resume
     // the original client thread.
     auto &cpu = wire_.node().cpu();
+    obs::SpanId resumeSpan = obs::kNoSpan;
+    if (obs::TraceRecorder::on() && p.traceOp != 0) {
+        resumeSpan = obs::TraceRecorder::instance().beginSpanFor(
+            p.traceOp, wire_.node().name(), "rpc", "client_resume");
+    }
+    std::string nodeName = wire_.node().name();
     cpu.post(costs_.clientPacket + costs_.clientResume,
              sim::CpuCategory::kControlTransfer,
-             [p = std::move(p), body = std::move(body)]() mutable {
+             [p = std::move(p), body = std::move(body), resumeSpan,
+              nodeName = std::move(nodeName)]() mutable {
+                 auto &rec = obs::TraceRecorder::instance();
+                 rec.endSpan(resumeSpan);
+                 if (p.traceOp != 0) {
+                     rec.asyncEnd(p.traceOp, nodeName, "rpc", "call");
+                 }
                  Unmarshal u(body);
                  uint32_t status = u.getU32();
                  std::vector<uint8_t> results = u.getOpaque();

@@ -114,6 +114,8 @@ class RpcTransport
     {
         sim::Promise<util::Result<std::vector<uint8_t>>> done;
         sim::EventId timeoutEvent = 0;
+        /** Async op of the call, closed when the client resumes. */
+        uint64_t traceOp = 0;
     };
 
     /** Wire delivery of RPC envelope messages. */

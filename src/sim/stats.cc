@@ -47,7 +47,13 @@ Histogram::Histogram(double lo, double width, size_t buckets)
 void
 Histogram::sample(double x)
 {
+    if (std::isnan(x)) {
+        ++nan_; // would make the bucket index UB; reject and count
+        return;
+    }
     ++total_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
     if (x < lo_) {
         ++underflow_;
         return;
@@ -68,7 +74,7 @@ Histogram::quantile(double q) const
     uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total_));
     uint64_t seen = underflow_;
     if (seen > target) {
-        return lo_; // below measurable range
+        return min_; // in the underflow region: the observed floor
     }
     for (size_t i = 0; i < counts_.size(); ++i) {
         if (seen + counts_[i] > target) {
@@ -81,14 +87,25 @@ Histogram::quantile(double q) const
         }
         seen += counts_[i];
     }
-    return lo_ + width_ * static_cast<double>(counts_.size());
+    // In the overflow region: interpolate from the top bucket edge out
+    // to the largest observation, so tail quantiles keep moving when
+    // the tail escapes the bucketed range.
+    double top = lo_ + width_ * static_cast<double>(counts_.size());
+    if (overflow_ == 0) {
+        return std::min(max_, top);
+    }
+    double frac = static_cast<double>(target - seen) /
+                  static_cast<double>(overflow_);
+    return top + frac * std::max(0.0, max_ - top);
 }
 
 void
 Histogram::reset()
 {
     std::fill(counts_.begin(), counts_.end(), uint64_t{0});
-    underflow_ = overflow_ = total_ = 0;
+    underflow_ = overflow_ = nan_ = total_ = 0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
 }
 
 namespace {

@@ -88,7 +88,11 @@ class Histogram
      */
     Histogram(double lo, double width, size_t buckets);
 
-    /** Record one observation. */
+    /**
+     * Record one observation. NaN observations are rejected (counted in
+     * nanSamples(), excluded from total()); infinities land in the
+     * under/overflow buckets.
+     */
     void sample(double x);
 
     /** Count in regular bucket @p i. */
@@ -103,15 +107,32 @@ class Histogram
     /** Observations at/above the last bucket's upper edge. */
     uint64_t overflow() const { return overflow_; }
 
-    /** Total observations. */
+    /** Observations outside the regular buckets (under + over). */
+    uint64_t outOfRange() const { return underflow_ + overflow_; }
+
+    /** NaN observations rejected by sample(). */
+    uint64_t nanSamples() const { return nan_; }
+
+    /** Total (non-NaN) observations. */
     uint64_t total() const { return total_; }
+
+    /** Smallest observation (0 when empty). */
+    double observedMin() const { return total_ ? min_ : 0.0; }
+
+    /** Largest observation (0 when empty). */
+    double observedMax() const { return total_ ? max_ : 0.0; }
 
     /** Number of regular buckets. */
     size_t buckets() const { return counts_.size(); }
 
     /**
      * Value at or below which fraction @p q of observations fall,
-     * interpolated within buckets. Requires 0 <= q <= 1 and total() > 0.
+     * interpolated within buckets. The tails use the observed extremes:
+     * quantiles landing in the underflow region return observedMin(),
+     * and those in the overflow region interpolate between the top
+     * bucket edge and observedMax(), so p99.9 stays meaningful even
+     * when the tail escapes the bucketed range. Requires 0 <= q <= 1
+     * and total() > 0.
      */
     double quantile(double q) const;
 
@@ -124,7 +145,10 @@ class Histogram
     std::vector<uint64_t> counts_;
     uint64_t underflow_ = 0;
     uint64_t overflow_ = 0;
+    uint64_t nan_ = 0;
     uint64_t total_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
 };
 
 /**

@@ -1,7 +1,9 @@
 #include "util/json.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/panic.h"
 
@@ -161,6 +163,340 @@ JsonWriter::str() const
 {
     REMORA_ASSERT(stack_.empty());
     return out_;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    for (const auto &[k, v] : members_) {
+        if (k == key) {
+            return &v;
+        }
+    }
+    return nullptr;
+}
+
+/** Recursive-descent parser over one document; friend of JsonValue. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    Result<JsonValue>
+    run()
+    {
+        JsonValue root;
+        Status s = parseValue(root, 0);
+        if (!s.ok()) {
+            return s;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            return fail("trailing characters after document");
+        }
+        return root;
+    }
+
+  private:
+    /** Nesting bound; ours are shallow, runaways should not stack out. */
+    static constexpr int kMaxDepth = 64;
+
+    Status
+    fail(const std::string &what) const
+    {
+        return Status(ErrorCode::kInvalidArgument,
+                      "json: " + what + " at offset " +
+                          std::to_string(pos_));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Status
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth) {
+            return fail("nesting too deep");
+        }
+        skipWs();
+        if (pos_ >= text_.size()) {
+            return fail("unexpected end of document");
+        }
+        switch (text_[pos_]) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"':
+            out.type_ = JsonValue::Type::kString;
+            return parseString(out.string_);
+          case 't':
+          case 'f':
+            return parseKeyword(out);
+          case 'n':
+            out.type_ = JsonValue::Type::kNull;
+            return expect("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    Status
+    expect(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word) {
+            return fail("malformed literal");
+        }
+        pos_ += word.size();
+        return Status::okStatus();
+    }
+
+    Status
+    parseKeyword(JsonValue &out)
+    {
+        out.type_ = JsonValue::Type::kBool;
+        out.bool_ = text_[pos_] == 't';
+        return expect(out.bool_ ? "true" : "false");
+    }
+
+    Status
+    parseNumber(JsonValue &out)
+    {
+        size_t start = pos_;
+        if (consume('-')) {
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start) {
+            return fail("expected a value");
+        }
+        std::string num(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        double v = std::strtod(num.c_str(), &end);
+        if (end != num.c_str() + num.size()) {
+            return fail("malformed number");
+        }
+        out.type_ = JsonValue::Type::kNumber;
+        out.number_ = v;
+        return Status::okStatus();
+    }
+
+    Status
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return Status::okStatus();
+            }
+            if (c == '\\') {
+                Status s = parseEscape(out);
+                if (!s.ok()) {
+                    return s;
+                }
+                continue;
+            }
+            if (static_cast<unsigned char>(c) < 0x20) {
+                return fail("raw control character in string");
+            }
+            out += c;
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    Status
+    parseEscape(std::string &out)
+    {
+        if (pos_ + 1 >= text_.size()) {
+            return fail("truncated escape");
+        }
+        char c = text_[pos_ + 1];
+        pos_ += 2;
+        switch (c) {
+          case '"': out += '"'; return Status::okStatus();
+          case '\\': out += '\\'; return Status::okStatus();
+          case '/': out += '/'; return Status::okStatus();
+          case 'b': out += '\b'; return Status::okStatus();
+          case 'f': out += '\f'; return Status::okStatus();
+          case 'n': out += '\n'; return Status::okStatus();
+          case 'r': out += '\r'; return Status::okStatus();
+          case 't': out += '\t'; return Status::okStatus();
+          case 'u': {
+            uint32_t cp = 0;
+            if (!parseHex4(cp)) {
+                return fail("malformed \\u escape");
+            }
+            // Surrogate pair: a high surrogate must be chased by \uDC00-
+            // \uDFFF; unpaired surrogates are replaced, not rejected.
+            if (cp >= 0xd800 && cp <= 0xdbff &&
+                text_.substr(pos_, 2) == "\\u") {
+                pos_ += 2;
+                uint32_t lo = 0;
+                if (!parseHex4(lo)) {
+                    return fail("malformed \\u escape");
+                }
+                if (lo >= 0xdc00 && lo <= 0xdfff) {
+                    cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                } else {
+                    cp = 0xfffd;
+                    appendUtf8(out, lo >= 0xd800 && lo <= 0xdfff ? 0xfffd
+                                                                 : lo);
+                }
+            } else if (cp >= 0xd800 && cp <= 0xdfff) {
+                cp = 0xfffd;
+            }
+            appendUtf8(out, cp);
+            return Status::okStatus();
+          }
+          default:
+            return fail("unknown escape");
+        }
+    }
+
+    bool
+    parseHex4(uint32_t &out)
+    {
+        if (pos_ + 4 > text_.size()) {
+            return false;
+        }
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_ + static_cast<size_t>(i)];
+            out <<= 4;
+            if (c >= '0' && c <= '9') {
+                out |= static_cast<uint32_t>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                out |= static_cast<uint32_t>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+                out |= static_cast<uint32_t>(c - 'A' + 10);
+            } else {
+                return false;
+            }
+        }
+        pos_ += 4;
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &out, uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    Status
+    parseArray(JsonValue &out, int depth)
+    {
+        ++pos_; // '['
+        out.type_ = JsonValue::Type::kArray;
+        skipWs();
+        if (consume(']')) {
+            return Status::okStatus();
+        }
+        for (;;) {
+            JsonValue item;
+            Status s = parseValue(item, depth + 1);
+            if (!s.ok()) {
+                return s;
+            }
+            out.items_.push_back(std::move(item));
+            skipWs();
+            if (consume(',')) {
+                continue;
+            }
+            if (consume(']')) {
+                return Status::okStatus();
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    Status
+    parseObject(JsonValue &out, int depth)
+    {
+        ++pos_; // '{'
+        out.type_ = JsonValue::Type::kObject;
+        skipWs();
+        if (consume('}')) {
+            return Status::okStatus();
+        }
+        for (;;) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                return fail("expected a member key");
+            }
+            std::string key;
+            Status s = parseString(key);
+            if (!s.ok()) {
+                return s;
+            }
+            skipWs();
+            if (!consume(':')) {
+                return fail("expected ':'");
+            }
+            JsonValue value;
+            s = parseValue(value, depth + 1);
+            if (!s.ok()) {
+                return s;
+            }
+            out.members_.emplace_back(std::move(key), std::move(value));
+            skipWs();
+            if (consume(',')) {
+                continue;
+            }
+            if (consume('}')) {
+                return Status::okStatus();
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+};
+
+Result<JsonValue>
+JsonValue::parse(std::string_view text)
+{
+    return JsonParser(text).run();
 }
 
 } // namespace remora::util

@@ -130,6 +130,69 @@ TEST_F(TraceTest, CapacityBoundsEventsAndCountsDrops)
     EXPECT_EQ(tr.dropped(), 0u);
 }
 
+TEST_F(TraceTest, OpScopeStampsSpansAndInstants)
+{
+    sim::Simulator sim;
+    auto &tr = obs::TraceRecorder::instance();
+    tr.enable(sim);
+
+    uint64_t outer = tr.newAsyncId();
+    uint64_t inner = tr.newAsyncId();
+    EXPECT_EQ(obs::TraceRecorder::currentOp(), 0u);
+    {
+        obs::OpScope scope(outer);
+        EXPECT_EQ(obs::TraceRecorder::currentOp(), outer);
+        obs::SpanId span = tr.beginSpan("n", "c", "work");
+        tr.instant("n", "c", "point");
+        {
+            // A child op begun under the outer scope records it as its
+            // parent; the nested scope then saves and restores like a
+            // stack variable.
+            tr.asyncBegin(inner, "n", "c", "child");
+            obs::OpScope nested(inner);
+            EXPECT_EQ(obs::TraceRecorder::currentOp(), inner);
+        }
+        EXPECT_EQ(obs::TraceRecorder::currentOp(), outer);
+        tr.endSpan(span);
+    }
+    EXPECT_EQ(obs::TraceRecorder::currentOp(), 0u);
+    tr.instant("n", "c", "outside");
+    tr.disable();
+
+    ASSERT_EQ(tr.eventCount(), 4u);
+    EXPECT_EQ(tr.events()[0].op, outer); // span, stamped by the scope
+    EXPECT_EQ(tr.events()[1].op, outer); // instant, likewise
+    EXPECT_EQ(tr.events()[2].op, inner); // the child op itself...
+    EXPECT_EQ(tr.events()[2].parent, outer); // ...with its parent link
+    EXPECT_EQ(tr.events()[3].op, 0u); // outside any scope
+}
+
+TEST_F(TraceTest, ChromeExportCarriesOpArgsAndSortIndices)
+{
+    sim::Simulator sim;
+    auto &tr = obs::TraceRecorder::instance();
+    tr.enable(sim);
+
+    uint64_t id = tr.newAsyncId();
+    tr.asyncBegin(id, "client", "rmem", "read");
+    {
+        obs::OpScope scope(id);
+        tr.instant("client", "net", "hop");
+    }
+    tr.asyncEnd(id, "client", "rmem", "read");
+    tr.disable();
+
+    std::string json = tr.toChromeJson();
+    // Stable ordering metadata so Perfetto lays nodes/components out
+    // deterministically across runs.
+    EXPECT_NE(json.find("process_sort_index"), std::string::npos);
+    EXPECT_NE(json.find("thread_sort_index"), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    // The op id rides along as args so the DAG is reconstructible from
+    // the export alone.
+    EXPECT_NE(json.find("\"op\":" + std::to_string(id)), std::string::npos);
+}
+
 TEST(MetricRegistryTest, TextDumpAndNestedJson)
 {
     sim::Counter writes;

@@ -87,10 +87,63 @@ TEST(Histogram, ResetClearsEverything)
     Histogram h(0.0, 1.0, 4);
     h.sample(2.0);
     h.sample(-5.0);
+    h.sample(std::nan(""));
     h.reset();
     EXPECT_EQ(h.total(), 0u);
     EXPECT_EQ(h.underflow(), 0u);
     EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.nanSamples(), 0u);
+    EXPECT_EQ(h.observedMin(), 0.0);
+    EXPECT_EQ(h.observedMax(), 0.0);
+}
+
+TEST(Histogram, NanIsRejectedAndCounted)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.sample(1.5);
+    h.sample(std::nan(""));
+    EXPECT_EQ(h.total(), 1u); // the NaN never entered a bucket
+    EXPECT_EQ(h.nanSamples(), 1u);
+    EXPECT_EQ(h.outOfRange(), 0u);
+}
+
+TEST(Histogram, OutOfRangeCountsBothTails)
+{
+    Histogram h(10.0, 1.0, 5); // [10,15)
+    h.sample(-2.5);
+    h.sample(-1.0);
+    h.sample(12.0);
+    h.sample(99.0);
+    EXPECT_EQ(h.underflow(), 2u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.outOfRange(), 3u);
+    EXPECT_EQ(h.observedMin(), -2.5);
+    EXPECT_EQ(h.observedMax(), 99.0);
+    // A quantile landing in the underflow region reports the observed
+    // floor, not the bucket range's lower edge.
+    EXPECT_EQ(h.quantile(0.0), -2.5);
+}
+
+TEST(Histogram, TailQuantilesInterpolateIntoOverflow)
+{
+    // 90 fast observations in range, 10 slow ones past the top edge:
+    // the p99/p100 must keep moving with the escaped tail instead of
+    // saturating at the top bucket boundary.
+    Histogram h(0.0, 1.0, 10); // [0,10)
+    for (int i = 0; i < 90; ++i) {
+        h.sample(0.5);
+    }
+    for (int i = 0; i < 10; ++i) {
+        h.sample(15.0);
+    }
+    // target 99: 9/10 of the way through the overflow region, between
+    // the top edge (10) and the observed max (15).
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 14.5);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 15.0);
+    // With no overflow, q=1.0 clamps to the observed max.
+    Histogram g(0.0, 1.0, 10);
+    g.sample(3.25);
+    EXPECT_DOUBLE_EQ(g.quantile(1.0), 3.25);
 }
 
 TEST(StatRegistry, DumpsSortedNameValueLines)

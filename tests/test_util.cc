@@ -9,6 +9,7 @@
 #include "util/bytes.h"
 #include "util/crc.h"
 #include "util/hash.h"
+#include "util/json.h"
 #include "util/panic.h"
 #include "util/status.h"
 #include "util/strings.h"
@@ -296,6 +297,76 @@ TEST(Strings, TextTableAlignsColumns)
     // Numeric column right-aligns: "22" ends both data lines.
     EXPECT_NE(out.find(" 1\n"), std::string::npos);
     EXPECT_NE(out.find("22\n"), std::string::npos);
+}
+
+// ----------------------------------------------------------------------
+// JSON parsing
+// ----------------------------------------------------------------------
+
+TEST(JsonValue, ParsesEveryValueKind)
+{
+    auto r = JsonValue::parse(
+        R"({"n":null,"t":true,"f":false,"num":-12.5e1,"s":"hi",)"
+        R"("a":[1,2,3],"o":{"k":"v"}})");
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    const JsonValue &v = r.value();
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.size(), 7u);
+    EXPECT_TRUE(v.find("n")->isNull());
+    EXPECT_TRUE(v.find("t")->asBool());
+    EXPECT_FALSE(v.find("f")->asBool());
+    EXPECT_DOUBLE_EQ(v.find("num")->asNumber(), -125.0);
+    EXPECT_EQ(v.find("s")->asString(), "hi");
+    ASSERT_TRUE(v.find("a")->isArray());
+    ASSERT_EQ(v.find("a")->size(), 3u);
+    EXPECT_DOUBLE_EQ(v.find("a")->items()[2].asNumber(), 3.0);
+    EXPECT_EQ(v.find("o")->find("k")->asString(), "v");
+    EXPECT_EQ(v.find("absent"), nullptr);
+    // Document order is preserved for walkers that care.
+    EXPECT_EQ(v.members()[0].first, "n");
+    EXPECT_EQ(v.members()[6].first, "o");
+}
+
+TEST(JsonValue, DecodesEscapes)
+{
+    auto r = JsonValue::parse(R"("a\"b\\c\n\tAé")");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().asString(), "a\"b\\c\n\tA\xc3\xa9");
+
+    // Surrogate pair: U+1F600 as 😀.
+    auto pair = JsonValue::parse(R"("😀")");
+    ASSERT_TRUE(pair.ok());
+    EXPECT_EQ(pair.value().asString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonValue, RejectsMalformedInputWithOffset)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"k\":}", "tru", "1.2.3", "\"unterminated",
+          "{\"a\":1} trailing", "[1 2]", "{\"k\" 1}"}) {
+        auto r = JsonValue::parse(bad);
+        EXPECT_FALSE(r.ok()) << "accepted: " << bad;
+        EXPECT_NE(r.status().toString().find("offset"), std::string::npos)
+            << r.status().toString();
+    }
+}
+
+TEST(JsonValue, RoundTripsJsonWriterOutput)
+{
+    JsonWriter w;
+    w.beginObject()
+        .kv("name", "bench \"quoted\"")
+        .key("values")
+        .beginArray()
+        .value(1.5)
+        .value(true)
+        .endArray()
+        .endObject();
+    auto r = JsonValue::parse(w.str());
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(r.value().find("name")->asString(), "bench \"quoted\"");
+    EXPECT_DOUBLE_EQ(r.value().find("values")->items()[0].asNumber(), 1.5);
+    EXPECT_TRUE(r.value().find("values")->items()[1].asBool());
 }
 
 // ----------------------------------------------------------------------

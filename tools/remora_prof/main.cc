@@ -1,0 +1,172 @@
+/**
+ * @file
+ * remora_prof: end-to-end critical-path profile of the transfer stack.
+ *
+ * Builds the paper's two-node testbed in-process, turns the trace
+ * recorder on, drives a mixed workload (rmem WRITE/READ/CAS rounds, a
+ * kernel-thread RPC round trip, a Hybrid-1 call), and prints the
+ * per-op-kind critical-path breakdown — where each operation's wall
+ * time went between software, the wire, the controller, and queueing.
+ *
+ *     remora_prof [--iters N] [--json] [--trace FILE]
+ *
+ * --json swaps the table for the analyzer's machine-readable dump;
+ * --trace additionally writes the raw Chrome trace_event recording for
+ * chrome://tracing / ui.perfetto.dev (the same DAG, arrows and all).
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mem/node.h"
+#include "net/network.h"
+#include "obs/critical_path.h"
+#include "obs/trace.h"
+#include "rmem/engine.h"
+#include "rpc/hybrid1.h"
+#include "rpc/transport.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "util/panic.h"
+
+namespace remora {
+namespace {
+
+/** The sequential mixed workload; one iteration per op kind per round. */
+sim::Task<void>
+workload(rmem::RmemEngine *client, rmem::ImportedSegment server,
+         rmem::SegmentId scratch, rpc::RpcTransport *rpc,
+         rpc::Hybrid1Client *hybrid, int iters)
+{
+    for (int i = 0; i < iters; ++i) {
+        std::vector<uint8_t> data(256, static_cast<uint8_t>(i));
+        auto ws = co_await client->write(server, 0, data);
+        REMORA_ASSERT(ws.ok());
+
+        rmem::ReadOutcome ro =
+            co_await client->read(server, 0, scratch, 0, 256);
+        REMORA_ASSERT(ro.status.ok());
+
+        rmem::CasOutcome co = co_await client->cas(
+            server, 512, static_cast<uint32_t>(i),
+            static_cast<uint32_t>(i + 1), scratch, 256);
+        REMORA_ASSERT(co.status.ok());
+
+        auto rr = co_await rpc->call(1, 7, std::vector<uint8_t>(64, 0xab));
+        REMORA_ASSERT(rr.ok());
+
+        auto hr = co_await hybrid->call(std::vector<uint8_t>(64, 0xcd));
+        REMORA_ASSERT(hr.ok());
+    }
+}
+
+int
+run(int iters, bool json, const char *tracePath)
+{
+    sim::Simulator sim;
+    net::Network network(sim, net::LinkParams{});
+    mem::Node server(sim, 1, "server");
+    mem::Node client(sim, 2, "client");
+    rmem::RmemEngine serverEng(server);
+    rmem::RmemEngine clientEng(client);
+    network.addHost(1, server.nic());
+    network.addHost(2, client.nic());
+    network.wireDirect();
+
+    // Target segment on the server, scratch (read/cas landing) on the
+    // client.
+    mem::Process &sproc = server.spawnProcess("target");
+    mem::Vaddr sbase = sproc.space().allocRegion(4096);
+    auto exported = serverEng.exportSegment(sproc, sbase, 4096,
+                                            rmem::Rights::kAll,
+                                            rmem::NotifyPolicy::kNever,
+                                            "prof.target");
+    REMORA_ASSERT(exported.ok());
+    mem::Process &cproc = client.spawnProcess("driver");
+    mem::Vaddr cbase = cproc.space().allocRegion(4096);
+    auto scratch = clientEng.exportSegment(cproc, cbase, 4096,
+                                           rmem::Rights::kAll,
+                                           rmem::NotifyPolicy::kNever,
+                                           "prof.scratch");
+    REMORA_ASSERT(scratch.ok());
+
+    // Kernel-thread RPC echo on the server.
+    rpc::RpcTransport serverRpc(serverEng.wire());
+    rpc::RpcTransport clientRpc(clientEng.wire());
+    serverRpc.registerProc(
+        7, [](net::NodeId,
+              std::vector<uint8_t> args) -> sim::Task<std::vector<uint8_t>> {
+            co_return args;
+        });
+
+    // Hybrid-1 echo on the server.
+    rpc::Hybrid1Server hyServer(serverEng, sproc);
+    hyServer.setHandler(
+        [](net::NodeId,
+           std::vector<uint8_t> args) -> sim::Task<std::vector<uint8_t>> {
+            co_return args;
+        });
+    hyServer.start();
+    rpc::Hybrid1Client hyClient(clientEng, cproc,
+                                hyServer.requestSegmentHandle(),
+                                hyServer.allocSlot());
+
+    auto &rec = obs::TraceRecorder::instance();
+    rec.enable(sim);
+
+    auto task = workload(&clientEng, exported.value(),
+                         scratch.value().descriptor, &clientRpc, &hyClient,
+                         iters);
+    sim.run();
+    REMORA_ASSERT(task.done());
+    rec.disable();
+
+    obs::CriticalPathAnalyzer analyzer;
+    auto paths = analyzer.analyze(rec.events());
+    if (json) {
+        std::fputs(obs::CriticalPathAnalyzer::toJson(paths).c_str(), stdout);
+        std::fputc('\n', stdout);
+    } else {
+        std::printf("critical-path breakdown, %d iteration%s, mean us/op:\n",
+                    iters, iters == 1 ? "" : "s");
+        std::fputs(obs::CriticalPathAnalyzer::renderText(paths).c_str(),
+                   stdout);
+    }
+    if (tracePath != nullptr) {
+        if (!rec.writeChromeJson(tracePath)) {
+            std::fprintf(stderr, "remora_prof: cannot write %s\n", tracePath);
+            return 1;
+        }
+        std::fprintf(stderr, "trace written to %s (%zu events)\n", tracePath,
+                     rec.eventCount());
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace remora
+
+int
+main(int argc, char **argv)
+{
+    int iters = 8;
+    bool json = false;
+    const char *tracePath = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
+        } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+            iters = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            tracePath = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: remora_prof [--iters N] [--json] "
+                         "[--trace FILE]\n");
+            return 2;
+        }
+    }
+    return remora::run(iters, json, tracePath);
+}
