@@ -8,6 +8,7 @@
 #   scripts/check.sh --format   # + clang-format dry run (.clang-format)
 #   scripts/check.sh --asan     # + ASan/UBSan suite in build-asan/
 #   scripts/check.sh --race     # + happens-before race gate, 8 seeds
+#   scripts/check.sh --mc       # + bounded schedule exploration gate
 #   scripts/check.sh --bench    # + bench regression gate vs baselines
 #   scripts/check.sh --all      # every gate above
 #
@@ -31,6 +32,7 @@ DO_TIDY=0
 DO_FORMAT=0
 DO_ASAN=0
 DO_RACE=0
+DO_MC=0
 DO_BENCH=0
 for arg in "$@"; do
     case "${arg}" in
@@ -39,8 +41,9 @@ for arg in "$@"; do
         --format) DO_FORMAT=1 ;;
         --asan) DO_ASAN=1 ;;
         --race) DO_RACE=1 ;;
+        --mc) DO_MC=1 ;;
         --bench) DO_BENCH=1 ;;
-        --all) DO_LINT=1; DO_TIDY=1; DO_FORMAT=1; DO_ASAN=1; DO_RACE=1; DO_BENCH=1 ;;
+        --all) DO_LINT=1; DO_TIDY=1; DO_FORMAT=1; DO_ASAN=1; DO_RACE=1; DO_MC=1; DO_BENCH=1 ;;
         -h|--help)
             sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
             exit 0
@@ -143,6 +146,30 @@ if [[ "${DO_RACE}" == 1 ]]; then
     GATES_RUN+=("race[seeds=${#RACE_SEEDS[@]} races=${RACE_TOTAL}]")
 fi
 
+if [[ "${DO_MC}" == 1 ]]; then
+    echo
+    echo "== mc: bounded schedule exploration over the clean registry =="
+    # The explorer's own unit tests first (seeded deadlock / lost-wakeup
+    # fixtures, replay determinism, reduction-beats-brute-force), then a
+    # bounded sweep of every clean workload in remora_mc's registry.
+    # remora_mc exits nonzero on any finding in a clean workload, so the
+    # gate fails the moment exploration uncovers a deadlock, lost
+    # wakeup, or leaked coroutine in shipping code paths.
+    cmake --build build -j "${JOBS}" --target remora_mc
+    (cd build && ctest -L mc --output-on-failure -j "${JOBS}")
+    MC_OUT="$(./build/tools/remora_mc/remora_mc --max-schedules 60)" || {
+        echo "${MC_OUT}"
+        echo "mc gate: exploration found a bug in a clean workload" >&2
+        exit 1
+    }
+    echo "${MC_OUT}"
+    MC_SUMMARY="$(grep '^mc ' <<<"${MC_OUT}" | tail -1)"
+    MC_W="$(sed -n 's/.*workloads=\([0-9]*\).*/\1/p' <<<"${MC_SUMMARY}")"
+    MC_S="$(sed -n 's/.*schedules=\([0-9]*\).*/\1/p' <<<"${MC_SUMMARY}")"
+    MC_F="$(sed -n 's/.*findings=\([0-9]*\).*/\1/p' <<<"${MC_SUMMARY}")"
+    GATES_RUN+=("mc[workloads=${MC_W} schedules=${MC_S} findings=${MC_F}]")
+fi
+
 if [[ "${DO_BENCH}" == 1 ]]; then
     echo
     echo "== bench: regression gate vs bench/baselines =="
@@ -153,7 +180,12 @@ if [[ "${DO_BENCH}" == 1 ]]; then
     # baseline file alongside it.
     cmake --build build -j "${JOBS}" --target bench_diff
     (cd build && ctest -L bench_smoke --output-on-failure -j "${JOBS}")
-    ./build/tools/bench_diff/bench_diff --tol 5 bench/baselines build/bench
+    # schedules/sec is the one wall-clock metric in the baselines; give
+    # it room for machine variance while still catching order-of-
+    # magnitude explorer regressions.
+    ./build/tools/bench_diff/bench_diff --tol 5 \
+        --tol-metric explore.schedules_per_sec=90 \
+        bench/baselines build/bench
     GATES_RUN+=("bench")
 fi
 

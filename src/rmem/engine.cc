@@ -69,6 +69,7 @@ RmemEngine::exportSegment(mem::Process &owner, mem::Vaddr base, uint32_t size,
     const SegmentDescriptor *d = table_.get(slot.value());
     REMORA_ASSERT(d != nullptr);
     d->channel->setTraceNode(node_.name());
+    d->channel->setHangLabel(node_.name() + ":" + name + " notify fd");
     if (RaceDetector::on()) {
         // Shadow the segment, attribute the channel's consumers to
         // this node, and let the detector see the exporter's own
@@ -492,6 +493,13 @@ RmemEngine::serveWrite(net::NodeId src, WriteReq &&req)
     // reply sends they make still join the initiator's DAG.
     uint64_t op = obs::TraceRecorder::currentOp();
     auto &cpu = node_.cpu();
+    // The whole serve chain (validation, copy, notify) operates on this
+    // byte range; later stages inherit the hint through their events.
+    sim::Simulator::HintScope hintScope(
+        node_.simulator(),
+        sim::DepHint::segRange(
+            (static_cast<uint64_t>(node_.id()) << 8) | req.descriptor,
+            req.offset, req.offset + static_cast<uint32_t>(req.data.size())));
     // Stage 1: demux + validation.
     cpu.post(costs_.msgHandleCost + costs_.validateCost,
              sim::CpuCategory::kDataReceive,
@@ -572,6 +580,11 @@ RmemEngine::serveRead(net::NodeId src, ReadReq &&req)
     }
     uint64_t op = obs::TraceRecorder::currentOp();
     auto &cpu = node_.cpu();
+    sim::Simulator::HintScope hintScope(
+        node_.simulator(),
+        sim::DepHint::segRange(
+            (static_cast<uint64_t>(node_.id()) << 8) | req.srcDescriptor,
+            req.srcOffset, req.srcOffset + req.count));
     cpu.post(costs_.msgHandleCost + costs_.validateCost,
              sim::CpuCategory::kDataReceive,
              [this, src, span, op, req]() mutable {
@@ -651,6 +664,11 @@ RmemEngine::serveCas(net::NodeId src, CasReq &&req)
     }
     uint64_t op = obs::TraceRecorder::currentOp();
     auto &cpu = node_.cpu();
+    sim::Simulator::HintScope hintScope(
+        node_.simulator(),
+        sim::DepHint::syncWord(
+            (static_cast<uint64_t>(node_.id()) << 8) | req.descriptor,
+            req.offset));
     cpu.post(
         costs_.msgHandleCost + costs_.validateCost + costs_.casExecCost,
         sim::CpuCategory::kDataReceive, [this, src, span, op, req]() mutable {

@@ -11,7 +11,25 @@ namespace remora::rmem {
 NotificationChannel::NotificationChannel(sim::CpuResource &cpu,
                                          const CostModel &costs)
     : cpu_(cpu), costs_(costs)
-{}
+{
+    wgId_ = waitGraph().channelOpen("");
+    hangLabel_ = "channel#" + std::to_string(wgId_);
+    waitGraph().channelLabel(wgId_, hangLabel_);
+}
+
+NotificationChannel::~NotificationChannel()
+{
+    // Counts survive in the wait graph: a destroyed channel with
+    // undelivered notifications is still a lost wakeup.
+    waitGraph().channelClose(wgId_);
+}
+
+void
+NotificationChannel::setHangLabel(std::string label)
+{
+    hangLabel_ = std::move(label);
+    waitGraph().channelLabel(wgId_, hangLabel_);
+}
 
 sim::Task<Notification>
 NotificationChannel::next()
@@ -26,14 +44,21 @@ NotificationChannel::next()
             await_suspend(std::coroutine_handle<> h) noexcept
             {
                 ch->reader_ = h;
+                ch->waitGraph().parked(ch,
+                                       ch->hangLabel_ + " blocking read",
+                                       ch->daemon_);
+                ch->waitGraph().channelReader(ch->wgId_, true);
             }
             void await_resume() const noexcept {}
         };
         co_await Waiter{this};
+        waitGraph().unparked(this);
+        waitGraph().channelReader(wgId_, false);
     }
     REMORA_ASSERT(!queue_.empty());
     Notification n = queue_.front();
     queue_.pop_front();
+    waitGraph().channelConsumed(wgId_);
     if (RaceDetector::on()) {
         // Consuming the record is the acquire side of the delivery edge.
         RaceDetector::instance().acquireToken(this, raceOwner_);
@@ -54,6 +79,7 @@ NotificationChannel::tryNext(Notification &out)
     }
     out = queue_.front();
     queue_.pop_front();
+    waitGraph().channelConsumed(wgId_);
     if (RaceDetector::on()) {
         RaceDetector::instance().acquireToken(this, raceOwner_);
     }
@@ -91,6 +117,11 @@ NotificationChannel::post(const Notification &n)
         auto &det = RaceDetector::instance();
         det.releaseToken(this, det.currentActor(raceOwner_));
     }
+    // Everything downstream of this post — dispatch, handler, reader
+    // wakeup — is a control-transfer op on *this* channel: hint it so
+    // the explorer knows two posts on different channels commute.
+    sim::Simulator::HintScope hintScope(simulator(),
+                                        sim::DepHint::channel(wgId_));
     if (signalHandler_) {
         // Signal delivery: dispatch cost, then the handler upcall. The
         // op rides in the record and is re-established for the upcall
@@ -112,6 +143,7 @@ NotificationChannel::post(const Notification &n)
         return;
     }
     queue_.push_back(rec);
+    waitGraph().channelPosted(wgId_);
     wakeConsumers();
 }
 

@@ -76,6 +76,8 @@ class NotificationChannel
     NotificationChannel(const NotificationChannel &) = delete;
     NotificationChannel &operator=(const NotificationChannel &) = delete;
 
+    ~NotificationChannel();
+
     /** True when a notification is queued (select()-style readability). */
     bool readable() const { return !queue_.empty(); }
 
@@ -134,9 +136,29 @@ class NotificationChannel
     /** The owning node's simulator (wakeups order through its queue). */
     sim::Simulator &simulator() { return cpu_.simulator(); }
 
+    /**
+     * Declare this channel's blocking reader an eternal daemon (a
+     * serve-forever loop): its park is expected at quiescence and is
+     * excluded from blocked-task reporting. Call before the loop's
+     * first next().
+     */
+    void markDaemon() { daemon_ = true; }
+
+    /**
+     * Label used in wait-graph reports and dependency hints (set by the
+     * engine to the exported segment's identity).
+     */
+    void setHangLabel(std::string label);
+
+    /** Wait-graph channel id; doubles as the channel dependency key. */
+    uint64_t waitGraphId() const { return wgId_; }
+
   private:
     /** Wake the blocked reader / watchers after the dispatch cost. */
     void wakeConsumers();
+
+    /** The owning simulator's wait graph. */
+    sim::WaitGraph &waitGraph() { return cpu_.simulator().waitGraph(); }
 
     sim::CpuResource &cpu_;
     const CostModel &costs_;
@@ -148,6 +170,9 @@ class NotificationChannel
     uint64_t delivered_ = 0;
     uint32_t raceOwner_ = 0;
     std::string traceNode_;
+    uint64_t wgId_ = 0;
+    bool daemon_ = false;
+    std::string hangLabel_;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "rmem/sync.h"
 
 #include <algorithm>
+#include <string>
 
 #include "rmem/race_detector.h"
 #include "util/bytes.h"
@@ -30,10 +31,21 @@ SpinLock::SpinLock(RmemEngine &engine, const ImportedSegment &segment,
     }
 }
 
+std::string
+SpinLock::waitSite() const
+{
+    return "spinlock node=" + std::to_string(segment_.node) +
+           " seg=" + std::to_string(segment_.descriptor) +
+           " off=" + std::to_string(offset_);
+}
+
 sim::Task<util::Status>
 SpinLock::acquire()
 {
     auto &sim = engine_.node().simulator();
+    auto &graph = sim.waitGraph();
+    sim::WaitGraph::Resource word = sim::WaitGraph::packResource(
+        segment_.node, segment_.descriptor, offset_);
     sim::Time deadline = params_.acquireTimeout > 0
                              ? sim.now() + params_.acquireTimeout
                              : sim::kTimeMax;
@@ -43,13 +55,21 @@ SpinLock::acquire()
                                               ownerTag_, resultSeg_,
                                               resultOff_);
         if (!out.status.ok()) {
+            graph.waitDone(ownerTag_);
             co_return out.status;
         }
         if (out.success) {
+            graph.waitDone(ownerTag_);
+            graph.acquired(ownerTag_, word, waitSite());
             co_return util::Status();
         }
         ++contention_;
+        // A failed CAS is a wait-for edge: the cycle check runs here,
+        // catching cross-lock deadlocks even though the backoff timers
+        // keep the event queue from ever draining.
+        graph.waiting(ownerTag_, word, waitSite(), sim.now());
         if (sim.now() >= deadline) {
+            graph.waitDone(ownerTag_);
             co_return util::Status(util::ErrorCode::kTimeout,
                                    "lock acquisition timed out");
         }
@@ -70,12 +90,21 @@ SpinLock::tryAcquire()
         ++contention_;
         co_return util::Status(util::ErrorCode::kResource, "lock held");
     }
+    auto &graph = engine_.node().simulator().waitGraph();
+    graph.acquired(ownerTag_,
+                   sim::WaitGraph::packResource(segment_.node,
+                                                segment_.descriptor, offset_),
+                   waitSite());
     co_return util::Status();
 }
 
 sim::Task<util::Status>
 SpinLock::release()
 {
+    engine_.node().simulator().waitGraph().released(
+        ownerTag_, sim::WaitGraph::packResource(segment_.node,
+                                                segment_.descriptor,
+                                                offset_));
     // A plain remote write of zero: single-word atomicity (§3.4) makes
     // this a safe unlock as long as the caller actually held the lock.
     util::ByteWriter w(4);

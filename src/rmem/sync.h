@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "rmem/engine.h"
 #include "sim/task.h"
@@ -88,6 +89,9 @@ class SpinLock
     uint64_t contentionCount() const { return contention_; }
 
   private:
+    /** Wait-graph report label for this lock word. */
+    std::string waitSite() const;
+
     RmemEngine &engine_;
     ImportedSegment segment_;
     uint32_t offset_;

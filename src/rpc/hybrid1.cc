@@ -65,6 +65,9 @@ Hybrid1Server::serveLoop()
 {
     rmem::NotificationChannel *ch = engine_.channel(segId_);
     REMORA_ASSERT(ch != nullptr);
+    // The loop parks here forever between requests by design; tell the
+    // wait graph so quiescence reporting doesn't flag it as blocked.
+    ch->markDaemon();
     for (;;) {
         // Control transfer: the blocked server thread is woken for each
         // notified request (the cost HY pays and DX avoids).

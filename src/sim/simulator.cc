@@ -32,6 +32,49 @@ envPerturbSeed()
 
 } // namespace
 
+size_t
+PerturbPolicy::choose(Simulator &, const std::vector<ReadyChoice> &ready)
+{
+    // Same key function the perturbed heap historically ordered by, so
+    // a seeded run's total order (and digest) is unchanged: among the
+    // ready set, the minimal (mixed key, id) runs first.
+    size_t best = 0;
+    uint64_t bestKey = mix64(seed_ ^ (ready[0].id * 0x9e3779b97f4a7c15ull));
+    for (size_t i = 1; i < ready.size(); ++i) {
+        uint64_t key = mix64(seed_ ^ (ready[i].id * 0x9e3779b97f4a7c15ull));
+        if (key < bestKey ||
+            (key == bestKey && ready[i].id < ready[best].id)) {
+            best = i;
+            bestKey = key;
+        }
+    }
+    return best;
+}
+
+size_t
+RecordReplayPolicy::choose(Simulator &, const std::vector<ReadyChoice> &ready)
+{
+    size_t idx;
+    if (depth_ < prefix_.size()) {
+        idx = prefix_[depth_];
+        if (idx >= ready.size()) {
+            // A prefix recorded against this workload always stays in
+            // range; going out of range means the workload is not
+            // deterministic between runs.
+            REMORA_FATAL("RecordReplayPolicy: choice prefix diverged from "
+                         "the workload (nondeterministic workload?)");
+        }
+    } else if (fallback_) {
+        idx = fallback_(ready, depth_);
+        REMORA_ASSERT(idx < ready.size());
+    } else {
+        idx = 0;
+    }
+    recorded_.push_back(static_cast<uint32_t>(idx));
+    ++depth_;
+    return idx;
+}
+
 Simulator::Simulator()
 {
     uint64_t seed = envPerturbSeed();
@@ -43,8 +86,8 @@ Simulator::Simulator()
 void
 Simulator::setPerturbation(uint64_t seed)
 {
-    // Re-keying entries already in the heap would break its ordering
-    // invariant; seeds may only change while the queue is empty.
+    // A run's whole schedule is governed by one seed; switching with
+    // events pending would make the digest meaningless.
     REMORA_ASSERT(queue_.empty());
     if (seed == perturbSeed_) {
         return;
@@ -54,16 +97,36 @@ Simulator::setPerturbation(uint64_t seed)
         // Perturbed runs are replayable per seed, but must never alias
         // an unperturbed run's digest.
         digest_.mixRecord(now_, "perturb", seed);
+        ownedPerturb_ = std::make_unique<PerturbPolicy>(seed);
+        policy_ = ownedPerturb_.get();
+    } else {
+        if (policy_ == ownedPerturb_.get()) {
+            policy_ = nullptr;
+        }
+        ownedPerturb_.reset();
     }
 }
 
-uint64_t
-Simulator::tieKey(EventId id) const
+void
+Simulator::setPolicy(SchedulePolicy *policy)
 {
-    if (perturbSeed_ == 0) {
-        return id;
+    policy_ = policy;
+    if (policy != nullptr) {
+        ownedPerturb_.reset();
     }
-    return mix64(perturbSeed_ ^ (id * 0x9e3779b97f4a7c15ull));
+}
+
+void
+Simulator::setStepBudget(uint64_t steps)
+{
+    stepBudgetEnd_ = steps == 0 ? 0 : processed_ + steps;
+    budgetHit_ = false;
+}
+
+bool
+Simulator::deadlockHalted() const
+{
+    return haltOnDeadlock_ && !graph_.deadlocks().empty();
 }
 
 EventId
@@ -78,8 +141,8 @@ Simulator::scheduleAt(Time when, Callback fn)
 {
     REMORA_ASSERT(when >= now_);
     EventId id = nextId_++;
-    queue_.push(Entry{when, tieKey(id), id});
-    callbacks_.emplace(id, std::move(fn));
+    queue_.push(Entry{when, id});
+    callbacks_.emplace(id, PendingEvent{std::move(fn), currentHint_});
     digest_.mixRecord(when, "sched", id);
     return id;
 }
@@ -97,23 +160,68 @@ Simulator::cancel(EventId id)
 bool
 Simulator::step()
 {
-    while (!queue_.empty()) {
-        Entry top = queue_.top();
+    // Drop leading tombstones so emptiness checks see live state.
+    while (!queue_.empty() &&
+           callbacks_.find(queue_.top().id) == callbacks_.end()) {
         queue_.pop();
-        auto it = callbacks_.find(top.id);
-        if (it == callbacks_.end()) {
-            continue; // cancelled
-        }
-        Callback fn = std::move(it->second);
-        callbacks_.erase(it);
-        REMORA_ASSERT(top.when >= now_);
-        now_ = top.when;
-        ++processed_;
-        digest_.mixRecord(now_, "exec", top.id);
-        fn();
-        return true;
     }
-    return false;
+    if (queue_.empty()) {
+        return false;
+    }
+    if (deadlockHalted()) {
+        return false;
+    }
+    if (stepBudgetEnd_ != 0 && processed_ >= stepBudgetEnd_) {
+        budgetHit_ = true;
+        return false;
+    }
+
+    // Gather the full ready set at the minimal timestamp. The heap
+    // orders by (when, id), so the batch comes out in insertion order.
+    Time when = queue_.top().when;
+    batch_.clear();
+    while (!queue_.empty() && queue_.top().when == when) {
+        Entry e = queue_.top();
+        queue_.pop();
+        if (callbacks_.find(e.id) != callbacks_.end()) {
+            batch_.push_back(e);
+        }
+    }
+    size_t chosen = 0;
+    if (batch_.size() > 1) {
+        ++decisions_;
+        if (policy_ != nullptr) {
+            ready_.clear();
+            for (const Entry &e : batch_) {
+                ready_.push_back(ReadyChoice{e.id, callbacks_[e.id].hint});
+            }
+            chosen = policy_->choose(*this, ready_);
+            REMORA_ASSERT(chosen < batch_.size());
+            // Every consulted choice lands in the digest, so a replayed
+            // choice vector reproduces the run bit-identically.
+            digest_.mixRecord(when, "choice", chosen);
+        }
+    }
+    for (size_t i = 0; i < batch_.size(); ++i) {
+        if (i != chosen) {
+            queue_.push(batch_[i]);
+        }
+    }
+
+    Entry top = batch_[chosen];
+    auto it = callbacks_.find(top.id);
+    PendingEvent ev = std::move(it->second);
+    callbacks_.erase(it);
+    REMORA_ASSERT(top.when >= now_);
+    now_ = top.when;
+    ++processed_;
+    digest_.mixRecord(now_, "exec", top.id);
+    // The executing event's hint becomes ambient so events it schedules
+    // inherit their causal chain's hint (until a HintScope overrides).
+    DepHint prev = std::exchange(currentHint_, ev.hint);
+    ev.fn();
+    currentHint_ = prev;
+    return true;
 }
 
 uint64_t
@@ -130,9 +238,10 @@ Simulator::run(Time limit)
         if (top.when > limit) {
             break;
         }
-        if (step()) {
-            ++count;
+        if (!step()) {
+            break;
         }
+        ++count;
     }
     return count;
 }

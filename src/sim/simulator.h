@@ -8,20 +8,37 @@
  * reached. Events scheduled for the same instant execute in insertion
  * order, which makes causality deterministic and test output stable.
  *
- * Schedule perturbation (setPerturbation / REMORA_PERTURB) deliberately
- * weakens the same-instant tie-break: with a non-zero seed, events that
- * share a timestamp execute in a seeded pseudo-random order instead of
- * insertion order. Cross-timestamp ordering is untouched, so causality
- * through simulated time is preserved while every ordering the model
- * does not enforce gets exercised — the schedules the race detector
- * (rmem/race_detector.h) needs to drive conflicting accesses into each
- * other. A given seed is still fully deterministic (the seed is folded
- * into the digest), so perturbed runs replay bit-identically too.
+ * Same-instant ordering is *pluggable*: whenever more than one event is
+ * ready at the minimal timestamp, the ready set is offered to the
+ * installed SchedulePolicy, which picks the one to run. Three policies
+ * ship with the engine:
+ *
+ *  - insertion order (the default, policy-less fast path);
+ *  - PerturbPolicy (setPerturbation / REMORA_PERTURB): a seeded
+ *    pseudo-random tie-break that exercises orderings the model does
+ *    not enforce while staying fully deterministic per seed;
+ *  - RecordReplayPolicy: records the sequence of choice indices taken
+ *    at decision points, or replays a recorded choice vector — the
+ *    primitive the schedule explorer (sim/explorer.h) is built on.
+ *
+ * Every consulted choice is folded into the DeterminismDigest, so a
+ * replayed choice vector reproduces a run bit-identically.
+ *
+ * Events carry a dependency hint (DepHint) captured from the ambient
+ * hint at schedule time: which channel, sync word, or segment range the
+ * event's causal chain is acting on. Hints never affect execution; the
+ * explorer uses them to prune commuting interleavings (sleep sets).
+ *
+ * The simulator also owns a WaitGraph (sim/waitgraph.h) fed by the
+ * sync/notification layers, distinguishing "queue drained because all
+ * done" from "drained with coroutines blocked forever", and halting
+ * schedules that deadlock while still generating backoff-timer events.
  */
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <string_view>
 #include <unordered_map>
@@ -29,11 +46,155 @@
 
 #include "sim/determinism.h"
 #include "sim/time.h"
+#include "sim/waitgraph.h"
 
 namespace remora::sim {
 
 /** Opaque handle identifying a scheduled event, usable for cancellation. */
 using EventId = uint64_t;
+
+class Simulator;
+
+/**
+ * What an event's causal chain is operating on, for commutativity
+ * pruning. kNone means "unknown" and is conservatively dependent with
+ * everything. Channel hints are keyed by channel identity; memory hints
+ * (sync words, segment ranges) by packed (node, segment) plus a byte
+ * range, so a sync word and a data write to the same word conflict.
+ */
+struct DepHint
+{
+    enum class Kind : uint8_t
+    {
+        kNone = 0,
+        kChannel,
+        kSyncWord,
+        kSegRange,
+    };
+
+    Kind kind = Kind::kNone;
+    uint64_t key = 0;
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+
+    /** Hint for a notification-channel operation. */
+    static DepHint
+    channel(uint64_t key)
+    {
+        return DepHint{Kind::kChannel, key, 0, 0};
+    }
+
+    /** Hint for a sync-word access (the aligned 4-byte word at offset). */
+    static DepHint
+    syncWord(uint64_t key, uint32_t offset)
+    {
+        return DepHint{Kind::kSyncWord, key, offset, offset + 4};
+    }
+
+    /** Hint for a data access to [lo, hi) of a segment. */
+    static DepHint
+    segRange(uint64_t key, uint32_t lo, uint32_t hi)
+    {
+        return DepHint{Kind::kSegRange, key, lo, hi};
+    }
+
+    /** True when the hint names a specific object. */
+    bool known() const { return kind != Kind::kNone; }
+
+    /**
+     * May the two hinted operations fail to commute? Unknown hints are
+     * always dependent; channel ops conflict on the same channel; memory
+     * ops conflict when their byte ranges overlap in the same segment.
+     */
+    static bool
+    dependent(const DepHint &a, const DepHint &b)
+    {
+        if (a.kind == Kind::kNone || b.kind == Kind::kNone) {
+            return true;
+        }
+        bool achan = a.kind == Kind::kChannel;
+        bool bchan = b.kind == Kind::kChannel;
+        if (achan != bchan) {
+            return false;
+        }
+        if (achan) {
+            return a.key == b.key;
+        }
+        return a.key == b.key && a.lo < b.hi && b.lo < a.hi;
+    }
+};
+
+/** One runnable alternative offered to a SchedulePolicy. */
+struct ReadyChoice
+{
+    EventId id = 0;
+    DepHint hint;
+};
+
+/**
+ * Same-instant tie-break strategy. choose() is consulted only when two
+ * or more events are ready at the minimal timestamp (a *decision
+ * point*); the ready set is ordered by insertion (EventId ascending).
+ */
+class SchedulePolicy
+{
+  public:
+    virtual ~SchedulePolicy() = default;
+
+    /** Pick the index of the event to run next. */
+    virtual size_t choose(Simulator &sim,
+                          const std::vector<ReadyChoice> &ready) = 0;
+};
+
+/**
+ * The seeded pseudo-random tie-break behind setPerturbation: runs the
+ * ready event with the smallest splitmix64-mixed key, reproducing the
+ * historical perturbed total order exactly.
+ */
+class PerturbPolicy final : public SchedulePolicy
+{
+  public:
+    explicit PerturbPolicy(uint64_t seed) : seed_(seed) {}
+
+    size_t choose(Simulator &sim,
+                  const std::vector<ReadyChoice> &ready) override;
+
+  private:
+    uint64_t seed_;
+};
+
+/**
+ * Replay a recorded choice vector, then fall through to a fallback
+ * chooser (insertion order when none given). Records every choice it
+ * makes, so a partial prefix extends into a full replayable vector.
+ */
+class RecordReplayPolicy final : public SchedulePolicy
+{
+  public:
+    /** Chooser for decision points beyond the prefix. */
+    using Fallback =
+        std::function<size_t(const std::vector<ReadyChoice> &, size_t depth)>;
+
+    explicit RecordReplayPolicy(std::vector<uint32_t> prefix = {},
+                                Fallback fallback = {})
+        : prefix_(std::move(prefix)), fallback_(std::move(fallback))
+    {}
+
+    size_t choose(Simulator &sim,
+                  const std::vector<ReadyChoice> &ready) override;
+
+    /** Every choice made so far (prefix + fallback choices). */
+    const std::vector<uint32_t> &recorded() const { return recorded_; }
+
+    /** Decision points consumed so far. */
+    size_t depth() const { return depth_; }
+
+  private:
+    std::vector<uint32_t> prefix_;
+    Fallback fallback_;
+    std::vector<uint32_t> recorded_;
+    size_t depth_ = 0;
+};
 
 /** Discrete-event scheduler and simulated clock. */
 class Simulator
@@ -52,6 +213,8 @@ class Simulator
 
     /**
      * Schedule @p fn to run @p delay after now.
+     *
+     * The event inherits the ambient dependency hint (see HintScope).
      *
      * @param delay Non-negative delay; zero means "later this instant".
      * @param fn Callback to invoke.
@@ -77,13 +240,15 @@ class Simulator
     /**
      * Run the next pending event, if any.
      *
-     * @return True if an event ran, false if the queue was empty.
+     * @return True if an event ran; false when the queue is empty, the
+     *         step budget is exhausted, or a deadlock halted the run.
      */
     bool step();
 
     /**
-     * Run events until the queue drains or simulated time would exceed
-     * @p limit.
+     * Run events until the queue drains, simulated time would exceed
+     * @p limit, the step budget runs out, or a detected deadlock halts
+     * execution.
      *
      * Events at exactly @p limit still run. The clock does not advance
      * past the last executed event.
@@ -97,6 +262,9 @@ class Simulator
 
     /** Number of events currently pending (including cancelled ones). */
     size_t pendingEvents() const { return queue_.size(); }
+
+    /** Pending events that are still live (not cancelled). */
+    size_t livePendingEvents() const { return callbacks_.size(); }
 
     /**
      * Fold a component-level (now, kind, actor) record into the
@@ -121,8 +289,9 @@ class Simulator
 
     /**
      * The running digest of all activity: every schedule/cancel/execute
-     * plus every noteDigest record. Two runs of the same workload must
-     * produce equal values; see tests/test_determinism.cc.
+     * plus every noteDigest record and every policy choice. Two runs of
+     * the same workload must produce equal values; see
+     * tests/test_determinism.cc.
      */
     const DeterminismDigest &digest() const { return digest_; }
 
@@ -134,45 +303,133 @@ class Simulator
      * "perturb" record into the digest so perturbed and unperturbed
      * runs can never be confused.
      *
-     * Must be called before any event is scheduled: changing the
-     * tie-break key function with entries already heaped would corrupt
-     * the priority queue's invariant.
+     * Must be called before any event is scheduled, so a run's whole
+     * schedule is governed by one seed.
      */
     void setPerturbation(uint64_t seed);
 
     /** The active perturbation seed (0 = insertion order). */
     uint64_t perturbation() const { return perturbSeed_; }
 
+    /**
+     * Install @p policy (borrowed, not owned) as the same-instant
+     * tie-break; replaces any perturbation policy. nullptr restores
+     * insertion order.
+     */
+    void setPolicy(SchedulePolicy *policy);
+
+    /** The active policy (nullptr = insertion order). */
+    SchedulePolicy *policy() const { return policy_; }
+
+    /** Decision points hit so far (ready sets with >= 2 events). */
+    uint64_t decisionPoints() const { return decisions_; }
+
+    /**
+     * Cap the number of further step()s this simulator will execute
+     * (0 = unlimited). Exploration uses this to cut off runaway or
+     * livelocked schedules.
+     */
+    void setStepBudget(uint64_t steps);
+
+    /** True when the step budget stopped execution with events pending. */
+    bool budgetExhausted() const { return budgetHit_; }
+
+    /**
+     * When true (the default), step() refuses to run once the wait-for
+     * graph records a deadlock cycle — spinning lock acquisitions keep
+     * the queue busy forever otherwise.
+     */
+    void setHaltOnDeadlock(bool halt) { haltOnDeadlock_ = halt; }
+
+    /** True when a detected deadlock stopped execution. */
+    bool deadlockHalted() const;
+
+    /** The wait-for graph fed by the sync and notification layers. */
+    WaitGraph &waitGraph() { return graph_; }
+    const WaitGraph &waitGraph() const { return graph_; }
+
+    /**
+     * Coroutines parked with no wakeup pending, excluding daemon
+     * service loops. A drained queue with this non-zero means "blocked
+     * forever", not "all done" — tests assert zero at teardown.
+     */
+    size_t blockedTaskCount() const { return graph_.blockedCount(); }
+
+    /**
+     * True when the run genuinely completed: no live events pending and
+     * no coroutine blocked forever.
+     */
+    bool
+    allDone() const
+    {
+        return callbacks_.empty() && blockedTaskCount() == 0;
+    }
+
+    /** The ambient dependency hint inherited by scheduled events. */
+    const DepHint &currentHint() const { return currentHint_; }
+
+    /**
+     * Override the ambient dependency hint for a scope. Events
+     * scheduled inside the scope — and, transitively, events scheduled
+     * while *they* execute — carry @p hint. Use only in non-coroutine
+     * callback contexts: a scope held across co_await would leak the
+     * hint to unrelated events.
+     */
+    class HintScope
+    {
+      public:
+        HintScope(Simulator &sim, const DepHint &hint)
+            : sim_(sim), prev_(sim.currentHint_)
+        {
+            sim.currentHint_ = hint;
+        }
+        HintScope(const HintScope &) = delete;
+        HintScope &operator=(const HintScope &) = delete;
+        ~HintScope() { sim_.currentHint_ = prev_; }
+
+      private:
+        Simulator &sim_;
+        DepHint prev_;
+    };
+
   private:
     struct Entry
     {
         Time when;
-        /** Tie-break key: the id itself, or its seeded hash. */
-        uint64_t key;
         EventId id;
-        // Ordered min-first by (when, key, id); with a zero seed the
-        // key equals the id, i.e. exact insertion order.
+        // Ordered min-first by (when, id): insertion order per instant.
         bool
         operator>(const Entry &o) const
         {
-            if (when != o.when) {
-                return when > o.when;
-            }
-            return key != o.key ? key > o.key : id > o.id;
+            return when != o.when ? when > o.when : id > o.id;
         }
     };
 
-    /** Same-instant ordering key for a fresh event. */
-    uint64_t tieKey(EventId id) const;
+    struct PendingEvent
+    {
+        Callback fn;
+        DepHint hint;
+    };
 
     Time now_ = 0;
     EventId nextId_ = 1;
     uint64_t processed_ = 0;
     uint64_t perturbSeed_ = 0;
+    uint64_t decisions_ = 0;
+    uint64_t stepBudgetEnd_ = 0; ///< processed_ ceiling; 0 = unlimited.
+    bool budgetHit_ = false;
+    bool haltOnDeadlock_ = true;
     DeterminismDigest digest_;
     std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
     // Callbacks keyed by id; erased on execution or cancellation.
-    std::unordered_map<EventId, Callback> callbacks_;
+    std::unordered_map<EventId, PendingEvent> callbacks_;
+    SchedulePolicy *policy_ = nullptr;
+    std::unique_ptr<PerturbPolicy> ownedPerturb_;
+    DepHint currentHint_;
+    WaitGraph graph_;
+    // Scratch buffers reused across step() calls.
+    std::vector<Entry> batch_;
+    std::vector<ReadyChoice> ready_;
 };
 
 } // namespace remora::sim

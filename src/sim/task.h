@@ -250,11 +250,22 @@ struct OneShotState
     bool ready() const { return value.has_value() || exception; }
 
     void
+    park(std::coroutine_handle<> h)
+    {
+        waiter = h;
+        // A parked await with no wakeup pending at quiescence is a
+        // coroutine blocked forever; the wait graph tells them apart.
+        sim->waitGraph().parked(this, "future.wait (one-shot rendezvous)",
+                                false);
+    }
+
+    void
     wake()
     {
         if (!waiter) {
             return;
         }
+        sim->waitGraph().unparked(this);
         auto h = std::exchange(waiter, {});
         sim->schedule(0, [h] { h.resume(); });
     }
@@ -272,11 +283,20 @@ struct OneShotState<void>
     bool ready() const { return done || exception; }
 
     void
+    park(std::coroutine_handle<> h)
+    {
+        waiter = h;
+        sim->waitGraph().parked(this, "future.wait (one-shot rendezvous)",
+                                false);
+    }
+
+    void
     wake()
     {
         if (!waiter) {
             return;
         }
+        sim->waitGraph().unparked(this);
         auto h = std::exchange(waiter, {});
         sim->schedule(0, [h] { h.resume(); });
     }
@@ -314,7 +334,7 @@ class Future
         await_suspend(std::coroutine_handle<> h) noexcept
         {
             REMORA_ASSERT(!st->waiter);
-            st->waiter = h;
+            st->park(h);
         }
 
         T
@@ -407,7 +427,7 @@ class Future<void>
         await_suspend(std::coroutine_handle<> h) noexcept
         {
             REMORA_ASSERT(!st->waiter);
-            st->waiter = h;
+            st->park(h);
         }
 
         void

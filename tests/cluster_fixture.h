@@ -33,6 +33,18 @@ struct TwoNodeCluster
         network.addHost(2, nodeB.nic());
         network.wireDirect();
     }
+
+    ~TwoNodeCluster()
+    {
+        // "Queue drained" must mean "all done", not "blocked forever":
+        // a park at quiescence waited for a wakeup that never came.
+        // With live events still pending the run merely stopped early,
+        // so parked coroutines are legitimate.
+        if (sim.livePendingEvents() == 0) {
+            EXPECT_EQ(sim.blockedTaskCount(), 0u)
+                << "coroutine(s) blocked forever at cluster teardown";
+        }
+    }
 };
 
 /** N nodes on a switch. */
@@ -55,6 +67,14 @@ struct SwitchedCluster
             network.addHost(id, nodes.back()->nic());
         }
         network.wireSwitched();
+    }
+
+    ~SwitchedCluster()
+    {
+        if (sim.livePendingEvents() == 0) {
+            EXPECT_EQ(sim.blockedTaskCount(), 0u)
+                << "coroutine(s) blocked forever at cluster teardown";
+        }
     }
 };
 

@@ -416,6 +416,14 @@ TEST(LintPolicy, EveryRuleHasAStableName)
     EXPECT_STREQ(ruleName(Rule::kIncludeHygiene), "remora-include-hygiene");
     EXPECT_STREQ(ruleName(Rule::kRefCaptureDeferred),
                  "remora-ref-capture-deferred");
+    // Both severities of the detached-coroutine family share one NOLINT
+    // name, so one suppression comment covers either diagnosis.
+    EXPECT_STREQ(ruleName(Rule::kDetachedCoroutine),
+                 "remora-detached-coroutine");
+    EXPECT_STREQ(ruleName(Rule::kDetachedCoroutineDetach),
+                 "remora-detached-coroutine");
+    EXPECT_TRUE(ruleIsError(Rule::kDetachedCoroutine));
+    EXPECT_FALSE(ruleIsError(Rule::kDetachedCoroutineDetach));
 }
 
 // ----------------------------------------------------------------------
@@ -537,6 +545,151 @@ void arm(sim::Simulator &sim, int &hits)
 )cc";
     EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
                      Rule::kRefCaptureDeferred)
+                    .empty());
+}
+
+// ----------------------------------------------------------------------
+// Detached coroutines
+// ----------------------------------------------------------------------
+
+/** A TU with one local coroutine and one call site spliced in. */
+std::string
+detachedFixture(std::string_view callSite)
+{
+    std::string out = R"cc(
+namespace remora::rpc {
+
+sim::Task<void>
+ping(sim::Simulator *sim)
+{
+    co_await sim::delay(*sim, sim::usec(10));
+}
+
+void
+driver(sim::Simulator *sim)
+{
+)cc";
+    out += callSite;
+    out += R"cc(
+}
+
+} // namespace remora::rpc
+)cc";
+    return out;
+}
+
+TEST(LintDetached, BareStatementCallIsError)
+{
+    auto findings = only(
+        lintSource("fixture.cc", detachedFixture("    ping(sim);\n"),
+                   coroutineOnly()),
+        Rule::kDetachedCoroutine);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_TRUE(ruleIsError(findings[0].rule));
+    EXPECT_NE(findings[0].message.find("ping"), std::string::npos);
+    EXPECT_NE(findings[0].message.find(".detach()"), std::string::npos);
+}
+
+TEST(LintDetached, VoidCastDiscardIsError)
+{
+    // (void) makes the discard explicit to the compiler but still loses
+    // the frame; the fix is .detach(), not a cast.
+    auto findings = only(
+        lintSource("fixture.cc", detachedFixture("    (void) ping(sim);\n"),
+                   coroutineOnly()),
+        Rule::kDetachedCoroutine);
+    ASSERT_EQ(findings.size(), 1u);
+}
+
+TEST(LintDetached, ExplicitDetachIsAdvisoryOnly)
+{
+    auto all = lintSource(
+        "fixture.cc", detachedFixture("    ping(sim).detach();\n"),
+        coroutineOnly());
+    EXPECT_TRUE(only(all, Rule::kDetachedCoroutine).empty());
+    auto advisories = only(all, Rule::kDetachedCoroutineDetach);
+    ASSERT_EQ(advisories.size(), 1u);
+    EXPECT_FALSE(ruleIsError(advisories[0].rule));
+    EXPECT_NE(advisories[0].message.find("fire-and-forget"),
+              std::string::npos);
+}
+
+TEST(LintDetached, OwnedAndAwaitedStartsAreClean)
+{
+    // Binding the Task or awaiting it keeps an owner for the frame, and
+    // passing the result onward hands ownership to the callee.
+    for (std::string_view site :
+         {"    auto t = ping(sim);\n", "    co_await ping(sim);\n",
+          "    run(ping(sim));\n"}) {
+        auto all = lintSource("fixture.cc", detachedFixture(site),
+                              coroutineOnly());
+        EXPECT_TRUE(only(all, Rule::kDetachedCoroutine).empty())
+            << "site: " << site;
+        EXPECT_TRUE(only(all, Rule::kDetachedCoroutineDetach).empty())
+            << "site: " << site;
+    }
+}
+
+TEST(LintDetached, MemberCallsOfUnrelatedClassesAreNotImplicated)
+{
+    // `sim.run()` shares a name with a hypothetical local coroutine
+    // `run`; the lexer cannot see sim's type, so member calls are out
+    // of scope for the error form.
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void>
+run(sim::Simulator *sim)
+{
+    co_await sim::delay(*sim, sim::usec(10));
+}
+
+void
+pump(sim::Simulator &sim)
+{
+    sim.run();
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kDetachedCoroutine)
+                    .empty());
+}
+
+TEST(LintDetached, UnknownNamesAndDeclarationsAreClean)
+{
+    // `helper` is not declared Task-returning in this TU, and the
+    // declaration of `ping` itself is not a call.
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> ping(sim::Simulator *sim);
+
+void
+driver(sim::Simulator *sim)
+{
+    helper(sim);
+}
+)cc";
+    auto all = lintSource("fixture.cc", kFixture, coroutineOnly());
+    EXPECT_TRUE(only(all, Rule::kDetachedCoroutine).empty());
+    EXPECT_TRUE(only(all, Rule::kDetachedCoroutineDetach).empty());
+}
+
+TEST(LintDetached, NolintAndClangTidyAliasSuppress)
+{
+    for (std::string_view site :
+         {"    ping(sim); // NOLINT(remora-detached-coroutine)\n",
+          "    ping(sim); // NOLINT(bugprone-unused-return-value)\n"}) {
+        auto all = lintSource("fixture.cc", detachedFixture(site),
+                              coroutineOnly());
+        EXPECT_TRUE(only(all, Rule::kDetachedCoroutine).empty())
+            << "site: " << site;
+    }
+}
+
+TEST(LintDetached, RuleCanBeDisabledPerFile)
+{
+    Options o = coroutineOnly();
+    o.checkDetachedCoroutines = false;
+    EXPECT_TRUE(only(lintSource("fixture.cc",
+                                detachedFixture("    ping(sim);\n"), o),
+                     Rule::kDetachedCoroutine)
                     .empty());
 }
 

@@ -25,6 +25,9 @@ const char *const kNondetAliases[] = {
 const char *const kRefCaptureAliases[] = {
     "cppcoreguidelines-avoid-capturing-lambda-coroutines",
 };
+const char *const kDetachedAliases[] = {
+    "bugprone-unused-return-value",
+};
 
 bool
 isIdentChar(char c)
@@ -226,6 +229,14 @@ isSuppressed(const Scrubbed &s, int line, Rule rule)
     }
     if (rule == Rule::kRefCaptureDeferred) {
         for (const char *alias : kRefCaptureAliases) {
+            if (checks.count(alias) != 0) {
+                return true;
+            }
+        }
+    }
+    if (rule == Rule::kDetachedCoroutine ||
+        rule == Rule::kDetachedCoroutineDetach) {
+        for (const char *alias : kDetachedAliases) {
             if (checks.count(alias) != 0) {
                 return true;
             }
@@ -778,6 +789,130 @@ checkRefCaptures(std::string_view path, const Scrubbed &s,
     }
 }
 
+/**
+ * The detached-coroutine pass (kDetachedCoroutine family).
+ *
+ * Task<...> is eager: calling a coroutine starts it, and discarding the
+ * returned Task detaches the running frame via the destructor with
+ * nothing owning it. That is sometimes intended (server loops), but the
+ * intent must be visible: `start().detach();` reads as fire-and-forget,
+ * a bare `start();` or `(void)start();` reads as a forgotten await.
+ *
+ * Phase A collects the names of every Task-returning function declared
+ * in this translation unit (the same declarator shape the
+ * coroutine-param pass recognizes). Phase B classifies each
+ * *unqualified* call of a collected name — member calls through `.` or
+ * `->` are skipped, since another class may reuse the name with a
+ * non-coroutine signature:
+ *
+ *  - `name(...);` as a whole statement, or `(void)name(...);`  -> error
+ *  - `name(...).detach();`                                     -> advisory
+ *  - awaited, assigned, or passed as an argument                -> clean
+ */
+void
+checkDetachedCoroutines(std::string_view path, const Scrubbed &s,
+                        const std::vector<Token> &toks,
+                        std::vector<Finding> &out)
+{
+    // Phase A: TU-local coroutine names (last declarator identifier of
+    // each `Task<...> [chain::]name (` declaration or definition).
+    std::set<std::string> coros;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!toks[i].is("Task") || !toks[i].ident() ||
+            !toks[i + 1].is("<")) {
+            continue;
+        }
+        if (i > 0 && (toks[i - 1].is("class") || toks[i - 1].is("struct"))) {
+            continue;
+        }
+        size_t j = i + 2;
+        int depth = 1;
+        while (j < toks.size() && depth > 0) {
+            if (toks[j].is("<")) {
+                ++depth;
+            } else if (toks[j].is(">")) {
+                --depth;
+            } else if (toks[j].is(">>")) {
+                depth -= 2;
+            }
+            ++j;
+        }
+        size_t k = j;
+        while (k + 1 < toks.size() && toks[k].ident() &&
+               toks[k + 1].is("::")) {
+            k += 2;
+        }
+        if (k + 1 < toks.size() && toks[k].ident() && toks[k + 1].is("(") &&
+            !toks[k].is("operator")) {
+            coros.insert(toks[k].text);
+        }
+    }
+    if (coros.empty()) {
+        return;
+    }
+
+    // Phase B: classify call sites.
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!toks[i].ident() || coros.count(toks[i].text) == 0 ||
+            !toks[i + 1].is("(")) {
+            continue;
+        }
+        // Walk back over namespace/class qualification (`ns::name`).
+        size_t start = i;
+        while (start >= 2 && toks[start - 1].is("::") &&
+               toks[start - 2].ident()) {
+            start -= 2;
+        }
+        const Token *prev = start > 0 ? &toks[start - 1] : nullptr;
+        // A declaration, not a call: the return type's '>' (or a type
+        // name) directly precedes the declarator.
+        if (prev != nullptr && (prev->is(">") || prev->is(">>"))) {
+            continue;
+        }
+        // Member call on some object: its class may reuse the name with
+        // a non-coroutine signature, so only the detach advisory below
+        // could apply — and detached member temporaries are spelled
+        // through the same unqualified shape everywhere in this tree.
+        if (prev != nullptr && (prev->is(".") || prev->is("->"))) {
+            continue;
+        }
+        // Find the matching ')'.
+        int paren = 0;
+        size_t close = i + 1;
+        for (; close < toks.size(); ++close) {
+            if (toks[close].is("(")) {
+                ++paren;
+            } else if (toks[close].is(")") && --paren == 0) {
+                break;
+            }
+        }
+        if (close + 1 >= toks.size()) {
+            continue;
+        }
+        if (toks[close + 1].is(".") && close + 2 < toks.size() &&
+            toks[close + 2].is("detach")) {
+            addFinding(out, s, Rule::kDetachedCoroutineDetach, path,
+                       toks[i].line,
+                       "coroutine " + toks[i].text +
+                           "() detached at start; fire-and-forget intent "
+                           "noted (advisory)");
+            continue;
+        }
+        bool stmtStart = prev == nullptr || prev->is(";") || prev->is("{") ||
+                         prev->is("}");
+        bool voidCast = start >= 3 && toks[start - 1].is(")") &&
+                        toks[start - 2].is("void") && toks[start - 3].is("(");
+        if ((stmtStart || voidCast) && toks[close + 1].is(";")) {
+            addFinding(out, s, Rule::kDetachedCoroutine, path, toks[i].line,
+                       "coroutine " + toks[i].text +
+                           "() started and discarded: the eager frame "
+                           "detaches silently — co_await it, keep the "
+                           "Task, or write .detach() to make "
+                           "fire-and-forget explicit");
+        }
+    }
+}
+
 } // namespace
 
 // ----------------------------------------------------------------------
@@ -794,6 +929,9 @@ ruleName(Rule rule)
         return "remora-coroutine-ptr-param";
     case Rule::kRefCaptureDeferred:
         return "remora-ref-capture-deferred";
+    case Rule::kDetachedCoroutine:
+    case Rule::kDetachedCoroutineDetach:
+        return "remora-detached-coroutine";
     case Rule::kNondeterminism:
         return "remora-nondeterminism";
     case Rule::kIncludeHygiene:
@@ -805,7 +943,8 @@ ruleName(Rule rule)
 bool
 ruleIsError(Rule rule)
 {
-    return rule != Rule::kCoroutinePtrParam;
+    return rule != Rule::kCoroutinePtrParam &&
+           rule != Rule::kDetachedCoroutineDetach;
 }
 
 std::string
@@ -833,6 +972,9 @@ lintSource(std::string_view path, std::string_view text, const Options &opts)
     }
     if (opts.checkRefCaptures) {
         checkRefCaptures(path, s, toks, out);
+    }
+    if (opts.checkDetachedCoroutines) {
+        checkDetachedCoroutines(path, s, toks, out);
     }
     std::sort(out.begin(), out.end(),
               [](const Finding &a, const Finding &b) {

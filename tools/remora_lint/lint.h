@@ -3,7 +3,7 @@
  * remora-lint: project-specific hazard checks for the remora tree.
  *
  * A light single-file lexer (comments/strings stripped, identifiers and
- * punctuation tokenized) drives four rule families that general-purpose
+ * punctuation tokenized) drives five rule families that general-purpose
  * tools either miss or cannot know about:
  *
  *  - coroutine-param hazards: a `sim::Task<...>` coroutine copies its
@@ -19,6 +19,11 @@
  *    has unwound, and a coroutine lambda (`-> Task<...>`) suspends
  *    past it; in both, `[&]`-style by-reference captures dangle — the
  *    same bug family as the coroutine-param rules, one level up.
+ *  - detached coroutines: Task<...> starts eagerly, so a call whose
+ *    result is discarded (bare statement or `(void)` cast) silently
+ *    detaches the frame with nothing owning it or recording the
+ *    intent; fire-and-forget must be spelled `.detach()`, which is
+ *    itself reported as an advisory so the sites stay auditable.
  *  - nondeterminism sources: the simulator's contract is bit-identical
  *    replay, so wall-clock and platform randomness (`std::rand`,
  *    `time(nullptr)`, `std::chrono::system_clock`, `std::random_device`)
@@ -54,6 +59,19 @@ enum class Rule
      * coroutine lambda (`-> Task<...>`) that can suspend (error).
      */
     kRefCaptureDeferred,
+    /**
+     * A TU-local Task-returning coroutine started and discarded — bare
+     * call statement or `(void)` cast — so the eager frame detaches
+     * with no owner and no visible intent (error).
+     */
+    kDetachedCoroutine,
+    /**
+     * Immediate `.detach()` of a coroutine temporary: sanctioned
+     * fire-and-forget, reported so the sites stay auditable (advisory).
+     * Shares the NOLINT name remora-detached-coroutine with the error
+     * form.
+     */
+    kDetachedCoroutineDetach,
     /** Banned wall-clock / platform-randomness source (error). */
     kNondeterminism,
     /** Relative or unprefixed project include (error). */
@@ -94,6 +112,8 @@ struct Options
      * src/, a scheduled callback escapes the scheduling scope.
      */
     bool checkRefCaptures = true;
+    /** Check for discarded / silently-detached coroutine starts. */
+    bool checkDetachedCoroutines = true;
     /** Check for banned nondeterminism sources. */
     bool checkNondeterminism = true;
     /** Check include style. */

@@ -1,0 +1,520 @@
+/**
+ * @file
+ * remora_mc: systematic schedule exploration over cluster workloads.
+ *
+ * Each registered workload is a deterministic thunk that builds a small
+ * cluster on a fresh simulator and drives it to quiescence; the
+ * ScheduleExplorer re-executes it once per same-instant tie-break
+ * schedule (DFS with sleep-set reduction) and checks every terminal
+ * state for deadlocks, lost wakeups, and blocked-forever coroutines.
+ *
+ * The clean registry (rpc, notify, sync, dfs-token) is the check.sh
+ * --mc gate: bounded exploration must report zero findings. The seeded
+ * workloads (deadlock, lost-wakeup) carry planted bugs and demonstrate
+ * detection plus prefix shrinking:
+ *
+ *     remora_mc                      # explore the clean registry
+ *     remora_mc deadlock lost-wakeup # demo the seeded bugs
+ *     remora_mc --json sync          # machine-readable output
+ *
+ * Exit status is the total finding count clamped to 1 — except for
+ * seeded workloads listed on the command line, whose findings are
+ * expected and reported but do not fail the run.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dfs/token.h"
+#include "mem/node.h"
+#include "net/network.h"
+#include "obs/metrics.h"
+#include "rmem/engine.h"
+#include "rmem/notification.h"
+#include "rmem/sync.h"
+#include "rpc/hybrid1.h"
+#include "sim/explorer.h"
+#include "sim/task.h"
+#include "util/panic.h"
+
+namespace remora {
+namespace {
+
+// ----------------------------------------------------------------------
+// Shared cluster scaffolding
+// ----------------------------------------------------------------------
+
+/** N switched nodes with engines, built fresh per explored schedule. */
+struct World
+{
+    sim::Simulator &sim;
+    net::Network network;
+    std::vector<std::unique_ptr<mem::Node>> nodes;
+    std::vector<std::unique_ptr<rmem::RmemEngine>> engines;
+
+    World(sim::Simulator &s, uint32_t n) : sim(s), network(s, net::LinkParams{})
+    {
+        for (uint32_t i = 1; i <= n; ++i) {
+            nodes.push_back(std::make_unique<mem::Node>(
+                s, i, "node" + std::to_string(i)));
+            engines.push_back(
+                std::make_unique<rmem::RmemEngine>(*nodes.back()));
+            network.addHost(i, nodes.back()->nic());
+        }
+        if (n == 2) {
+            network.wireDirect();
+        } else {
+            network.wireSwitched();
+        }
+    }
+
+    rmem::ImportedSegment
+    exportOn(uint32_t nodeIdx, const std::string &name, uint32_t size = 4096,
+             rmem::NotifyPolicy policy = rmem::NotifyPolicy::kNever)
+    {
+        mem::Process &p = nodes[nodeIdx]->spawnProcess(name);
+        mem::Vaddr base = p.space().allocRegion(size);
+        auto h = engines[nodeIdx]->exportSegment(p, base, size,
+                                                 rmem::Rights::kAll, policy,
+                                                 name);
+        REMORA_ASSERT(h.ok());
+        return h.value();
+    }
+};
+
+// ----------------------------------------------------------------------
+// Clean workloads (the gate: zero findings expected)
+// ----------------------------------------------------------------------
+
+/** One Hybrid-1 client's echo calls. */
+sim::Task<void>
+rpcCalls(rpc::Hybrid1Client *c, uint8_t tag)
+{
+    for (uint8_t i = 0; i < 2; ++i) {
+        std::vector<uint8_t> args{tag, i};
+        auto reply = co_await c->call(args);
+        REMORA_ASSERT(reply.ok());
+        REMORA_ASSERT(reply.value()[0] == tag);
+    }
+}
+
+/** Hybrid-1 echo: two clients race their notified request writes. */
+void
+rpcWorkload(sim::Simulator &s)
+{
+    World w(s, 3);
+    mem::Process &serverProc = w.nodes[0]->spawnProcess("rpc-server");
+    rpc::Hybrid1Server server(*w.engines[0], serverProc);
+    server.setHandler(
+        [](net::NodeId,
+           std::vector<uint8_t> args) -> sim::Task<std::vector<uint8_t>> {
+            co_return args;
+        });
+    server.start();
+    mem::Process &p1 = w.nodes[1]->spawnProcess("rpc-client1");
+    mem::Process &p2 = w.nodes[2]->spawnProcess("rpc-client2");
+    rpc::Hybrid1Client c1(*w.engines[1], p1, server.requestSegmentHandle(),
+                          server.allocSlot());
+    rpc::Hybrid1Client c2(*w.engines[2], p2, server.requestSegmentHandle(),
+                          server.allocSlot());
+    auto t1 = rpcCalls(&c1, 0x11);
+    auto t2 = rpcCalls(&c2, 0x22);
+    s.run();
+    REMORA_ASSERT(t1.done() && t2.done());
+}
+
+/** Consume @p want notifications off a channel. */
+sim::Task<void>
+notifyReader(rmem::NotificationChannel *ch, int want)
+{
+    for (int i = 0; i < want; ++i) {
+        rmem::Notification n = co_await ch->next();
+        REMORA_ASSERT(n.count == 3);
+    }
+}
+
+/** Two racing notified writes consumed by a blocking channel reader. */
+void
+notifyWorkload(sim::Simulator &s)
+{
+    World w(s, 3);
+    auto seg = w.exportOn(0, "mc.notify", 4096,
+                          rmem::NotifyPolicy::kConditional);
+    rmem::NotificationChannel *ch = w.engines[0]->channel(seg.descriptor);
+    REMORA_ASSERT(ch != nullptr);
+    auto reader = notifyReader(ch, 2);
+    auto w1 = w.engines[1]->write(seg, 64, {1, 2, 3}, true);
+    auto w2 = w.engines[2]->write(seg, 128, {4, 5, 6}, true);
+    s.run();
+    REMORA_ASSERT(reader.done());
+    REMORA_ASSERT(w1.done() && w1.result().ok());
+    REMORA_ASSERT(w2.done() && w2.result().ok());
+}
+
+/** Two nodes contending one remote spin-lock word. */
+void
+syncWorkload(sim::Simulator &s)
+{
+    World w(s, 2);
+    auto page = w.exportOn(0, "mc.locks");
+    auto scratch = w.exportOn(1, "mc.scratch");
+    rmem::SpinLock la(*w.engines[1], page, 0, scratch.descriptor, 0, 0x201);
+    rmem::SpinLock lb(*w.engines[1], page, 0, scratch.descriptor, 4, 0x202);
+    auto hold = [](rmem::SpinLock *lock, sim::Simulator *sp) -> sim::Task<void> {
+        auto a = co_await lock->acquire();
+        REMORA_ASSERT(a.ok());
+        co_await sim::delay(*sp, sim::usec(40));
+        auto r = co_await lock->release();
+        REMORA_ASSERT(r.ok());
+    };
+    auto w1 = hold(&la, &s);
+    auto w2 = hold(&lb, &s);
+    s.run();
+    REMORA_ASSERT(w1.done() && w2.done());
+}
+
+/** Token coherence with a revocation (the rare control transfer). */
+void
+dfsTokenWorkload(sim::Simulator &s)
+{
+    World w(s, 3);
+    mem::Process &serverProc = w.nodes[0]->spawnProcess("tok-server");
+    dfs::TokenArea area(*w.engines[0], serverProc);
+    mem::Process &p1 = w.nodes[1]->spawnProcess("tok-clerk1");
+    mem::Process &p2 = w.nodes[2]->spawnProcess("tok-clerk2");
+    dfs::TokenClient c1(*w.engines[1], p1, area.handle());
+    dfs::TokenClient c2(*w.engines[2], p2, area.handle());
+    auto useToken = [](dfs::TokenClient *c, sim::Simulator *sp,
+                       sim::Duration dwell) -> sim::Task<void> {
+        auto st = co_await c->acquire(42);
+        REMORA_ASSERT(st.ok());
+        c->beginUse(42);
+        co_await sim::delay(*sp, dwell);
+        c->endUse(42);
+    };
+    auto w1 = useToken(&c1, &s, sim::usec(80));
+    auto w2 = useToken(&c2, &s, sim::usec(40));
+    s.run();
+    REMORA_ASSERT(w1.done() && w2.done());
+}
+
+// ----------------------------------------------------------------------
+// Seeded workloads (planted bugs the explorer must find)
+// ----------------------------------------------------------------------
+
+/** Acquire @p first, dwell, then acquire @p second. */
+sim::Task<void>
+lockOrderWorker(rmem::SpinLock *first, rmem::SpinLock *second,
+                sim::Simulator *s)
+{
+    auto a = co_await first->acquire();
+    REMORA_ASSERT(a.ok());
+    co_await sim::delay(*s, sim::usec(200));
+    auto b = co_await second->acquire();
+    REMORA_ASSERT(b.ok());
+    auto rb = co_await second->release();
+    REMORA_ASSERT(rb.ok());
+    auto ra = co_await first->release();
+    REMORA_ASSERT(ra.ok());
+}
+
+/** Cross-order acquisition of two lock words: a 2-party wait cycle. */
+void
+deadlockWorkload(sim::Simulator &s)
+{
+    World w(s, 2);
+    auto page = w.exportOn(0, "mc.locks");
+    auto scratch = w.exportOn(1, "mc.scratch");
+    rmem::SpinLock l0a(*w.engines[1], page, 0, scratch.descriptor, 0, 0x101);
+    rmem::SpinLock l64a(*w.engines[1], page, 64, scratch.descriptor, 0, 0x101);
+    rmem::SpinLock l64b(*w.engines[1], page, 64, scratch.descriptor, 4, 0x102);
+    rmem::SpinLock l0b(*w.engines[1], page, 0, scratch.descriptor, 4, 0x102);
+    auto w1 = lockOrderWorker(&l0a, &l64a, &s);
+    auto w2 = lockOrderWorker(&l64b, &l0b, &s);
+    s.run();
+}
+
+/** A post and a single poll race: one order strands the token. */
+void
+lostWakeupWorkload(sim::Simulator &s)
+{
+    mem::Node node(s, 1, "node");
+    rmem::CostModel costs;
+    rmem::NotificationChannel ch(node.cpu(), costs);
+    ch.setHangLabel("mc.token");
+    s.schedule(sim::usec(10), [&ch] {
+        rmem::Notification n;
+        n.srcNode = 2;
+        ch.post(n);
+    });
+    s.schedule(sim::usec(10), [&ch] {
+        rmem::Notification out;
+        (void)ch.tryNext(out);
+    });
+    s.run();
+}
+
+// ----------------------------------------------------------------------
+// Registry and driver
+// ----------------------------------------------------------------------
+
+struct WorkloadEntry
+{
+    const char *name;
+    sim::ScheduleExplorer::Workload fn;
+    bool seeded; ///< Carries a planted bug; findings are the point.
+};
+
+const std::vector<WorkloadEntry> &
+registry()
+{
+    static const std::vector<WorkloadEntry> r = {
+        {"rpc", rpcWorkload, false},
+        {"notify", notifyWorkload, false},
+        {"sync", syncWorkload, false},
+        {"dfs-token", dfsTokenWorkload, false},
+        {"deadlock", deadlockWorkload, true},
+        {"lost-wakeup", lostWakeupWorkload, true},
+    };
+    return r;
+}
+
+std::string
+choiceList(const std::vector<uint32_t> &v)
+{
+    std::string out = "[";
+    for (size_t i = 0; i < v.size(); ++i) {
+        if (i != 0) {
+            out += ",";
+        }
+        out += std::to_string(v[i]);
+    }
+    return out + "]";
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+struct Options
+{
+    sim::ExplorerOptions explorer;
+    bool json = false;
+    bool metrics = false;
+    std::vector<std::string> workloads;
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--list] [--json] [--metrics] [--max-schedules N]\n"
+        "          [--step-budget N] [--no-reduction] [--no-shrink]\n"
+        "          [workload...]\n"
+        "default workloads: every clean registry entry\n",
+        argv0);
+    return 2;
+}
+
+int
+run(const Options &opts)
+{
+    // Explorers are kept alive to the end: the metric registry borrows
+    // their counters ("mc.<workload>.*").
+    std::vector<std::unique_ptr<sim::ScheduleExplorer>> explorers;
+    auto &metrics = obs::MetricRegistry::global();
+    uint64_t unexpected = 0;
+    uint64_t totalSchedules = 0;
+    uint64_t totalFindings = 0;
+    std::string jsonOut = "{\"workloads\":[";
+    bool firstJson = true;
+
+    for (const std::string &name : opts.workloads) {
+        const WorkloadEntry *entry = nullptr;
+        for (const WorkloadEntry &e : registry()) {
+            if (name == e.name) {
+                entry = &e;
+            }
+        }
+        if (entry == nullptr) {
+            std::fprintf(stderr, "remora_mc: unknown workload '%s'\n",
+                         name.c_str());
+            return 2;
+        }
+        explorers.push_back(std::make_unique<sim::ScheduleExplorer>(
+            entry->fn, opts.explorer));
+        sim::ScheduleExplorer &ex = *explorers.back();
+        sim::ExploreResult res = ex.explore();
+
+        std::string prefix = "mc." + name + ".";
+        metrics.add(prefix + "schedules", ex.schedulesRun());
+        metrics.add(prefix + "decisions", ex.decisionsHit());
+        metrics.add(prefix + "findings", ex.findingsFound());
+        metrics.add(prefix + "sleep_skips", ex.sleepSkips());
+        metrics.add(prefix + "shrink_runs", ex.shrinkRuns());
+
+        totalSchedules += res.schedules;
+        totalFindings += res.findings.size();
+        if (!entry->seeded) {
+            unexpected += res.findings.size();
+        }
+
+        if (opts.json) {
+            if (!firstJson) {
+                jsonOut += ",";
+            }
+            firstJson = false;
+            char buf[256];
+            std::snprintf(buf, sizeof buf,
+                          "{\"name\":\"%s\",\"schedules\":%llu,"
+                          "\"decisions\":%llu,\"sleep_skips\":%llu,"
+                          "\"max_depth\":%llu,\"exhausted\":%s,"
+                          "\"capped\":%s,\"digest\":\"0x%016llx\","
+                          "\"findings\":[",
+                          name.c_str(),
+                          static_cast<unsigned long long>(res.schedules),
+                          static_cast<unsigned long long>(res.decisions),
+                          static_cast<unsigned long long>(res.sleepSkips),
+                          static_cast<unsigned long long>(res.maxDepth),
+                          res.exhausted ? "true" : "false",
+                          res.capped ? "true" : "false",
+                          static_cast<unsigned long long>(res.firstDigest));
+            jsonOut += buf;
+            for (size_t i = 0; i < res.findings.size(); ++i) {
+                const sim::ExplorerFinding &f = res.findings[i];
+                if (i != 0) {
+                    jsonOut += ",";
+                }
+                jsonOut += "{\"kind\":\"";
+                jsonOut += sim::HangReport::kindName(f.report.kind);
+                jsonOut += "\",\"schedule\":" + std::to_string(f.schedule);
+                jsonOut +=
+                    ",\"detail\":\"" + jsonEscape(f.report.detail) + "\"";
+                jsonOut += ",\"parties\":[";
+                for (size_t p = 0; p < f.report.parties.size(); ++p) {
+                    if (p != 0) {
+                        jsonOut += ",";
+                    }
+                    jsonOut +=
+                        "\"" + jsonEscape(f.report.parties[p]) + "\"";
+                }
+                jsonOut += "],\"choices\":" + choiceList(f.choices);
+                jsonOut += ",\"shrunk\":" + choiceList(f.shrunk) + "}";
+            }
+            jsonOut += "]}";
+        } else {
+            std::printf("workload=%s schedules=%llu decisions=%llu "
+                        "prunes=%llu findings=%zu digest=0x%016llx%s%s\n",
+                        name.c_str(),
+                        static_cast<unsigned long long>(res.schedules),
+                        static_cast<unsigned long long>(res.decisions),
+                        static_cast<unsigned long long>(res.sleepSkips),
+                        res.findings.size(),
+                        static_cast<unsigned long long>(res.firstDigest),
+                        res.capped ? " capped" : "",
+                        res.exhausted ? " exhausted" : "");
+            for (const sim::ExplorerFinding &f : res.findings) {
+                std::printf("finding workload=%s schedule=%llu "
+                            "shrunk=%s of %zu choices\n",
+                            name.c_str(),
+                            static_cast<unsigned long long>(f.schedule),
+                            choiceList(f.shrunk).c_str(), f.choices.size());
+                std::printf("%s", f.report.format().c_str());
+            }
+        }
+    }
+
+    if (opts.json) {
+        jsonOut += "],\"total_schedules\":" + std::to_string(totalSchedules);
+        jsonOut += ",\"total_findings\":" + std::to_string(totalFindings);
+        jsonOut += ",\"unexpected_findings\":" + std::to_string(unexpected);
+        jsonOut += "}";
+        std::printf("%s\n", jsonOut.c_str());
+    } else {
+        std::printf("mc workloads=%zu schedules=%llu findings=%llu "
+                    "unexpected=%llu\n",
+                    opts.workloads.size(),
+                    static_cast<unsigned long long>(totalSchedules),
+                    static_cast<unsigned long long>(totalFindings),
+                    static_cast<unsigned long long>(unexpected));
+    }
+    if (opts.metrics) {
+        std::printf("%s", metrics.dump().c_str());
+    }
+    return unexpected == 0 ? 0 : 1;
+}
+
+} // namespace
+} // namespace remora
+
+int
+main(int argc, char **argv)
+{
+    remora::Options opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto numArg = [&](uint64_t &out) {
+            if (i + 1 >= argc) {
+                return false;
+            }
+            out = std::strtoull(argv[++i], nullptr, 0);
+            return true;
+        };
+        if (arg == "--list") {
+            for (const auto &e : remora::registry()) {
+                std::printf("%s%s\n", e.name, e.seeded ? " (seeded bug)" : "");
+            }
+            return 0;
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--metrics") {
+            opts.metrics = true;
+        } else if (arg == "--no-reduction") {
+            opts.explorer.reduction = false;
+        } else if (arg == "--no-shrink") {
+            opts.explorer.shrink = false;
+        } else if (arg == "--max-schedules") {
+            if (!numArg(opts.explorer.maxSchedules)) {
+                return remora::usage(argv[0]);
+            }
+        } else if (arg == "--step-budget") {
+            if (!numArg(opts.explorer.stepBudget)) {
+                return remora::usage(argv[0]);
+            }
+        } else if (!arg.empty() && arg[0] == '-') {
+            return remora::usage(argv[0]);
+        } else {
+            opts.workloads.push_back(arg);
+        }
+    }
+    if (opts.workloads.empty()) {
+        for (const auto &e : remora::registry()) {
+            if (!e.seeded) {
+                opts.workloads.push_back(e.name);
+            }
+        }
+    }
+    return remora::run(opts);
+}
