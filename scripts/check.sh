@@ -182,9 +182,18 @@ if [[ "${DO_BENCH}" == 1 ]]; then
     (cd build && ctest -L bench_smoke --output-on-failure -j "${JOBS}")
     # schedules/sec is the one wall-clock metric in the baselines; give
     # it room for machine variance while still catching order-of-
-    # magnitude explorer regressions.
+    # magnitude explorer regressions — and it only regresses downward,
+    # so mark it higher-is-better. The vectored-ops speedup ratios get
+    # the same treatment: a batch getting even faster than baseline is
+    # a win to fold in at the next refresh, not a gate failure.
     ./build/tools/bench_diff/bench_diff --tol 5 \
         --tol-metric explore.schedules_per_sec=90 \
+        --dir-metric explore.schedules_per_sec=up \
+        --dir-metric write_x4.latency_speedup=up \
+        --dir-metric write_x8.latency_speedup=up \
+        --dir-metric write_x16.latency_speedup=up \
+        --dir-metric read_x4.latency_speedup=up \
+        --dir-metric read_x8.latency_speedup=up \
         bench/baselines build/bench
     GATES_RUN+=("bench")
 fi

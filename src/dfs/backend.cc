@@ -220,49 +220,87 @@ DxBackend::lookup(FileHandle dir, std::string name)
 sim::Task<util::Result<std::vector<uint8_t>>>
 DxBackend::read(FileHandle fh, uint64_t offset, uint32_t count)
 {
-    std::vector<uint8_t> out;
-    out.reserve(count);
-    uint64_t pos = offset;
-    uint64_t end = offset + count;
-
-    while (pos < end) {
+    // Plan the per-block fetches covering [offset, offset+count).
+    struct BlockFetch
+    {
+        uint64_t blockNo;
+        uint32_t blockOff;
+        uint32_t chunk;
+        uint64_t slotOff;
+    };
+    std::vector<BlockFetch> plan;
+    for (uint64_t pos = offset, end = offset + count; pos < end;) {
         uint64_t blockNo = pos / kBlockBytes;
         uint32_t blockOff = static_cast<uint32_t>(pos % kBlockBytes);
         uint32_t chunk = static_cast<uint32_t>(
             std::min<uint64_t>(end - pos, kBlockBytes - blockOff));
         uint32_t slot = dataSlot(fh.key(), blockNo, geo_.dataSlots);
-        uint64_t slotOff = static_cast<uint64_t>(slot) * kDataSlotBytes;
+        plan.push_back(BlockFetch{
+            blockNo, blockOff, chunk,
+            static_cast<uint64_t>(slot) * kDataSlotBytes});
+        pos += chunk;
+    }
 
-        auto bytes = co_await fetch(
-            areas_.data, slotOff, kDataHeaderBytes + blockOff + chunk);
-        if (!bytes.ok()) {
-            co_return bytes.status();
+    std::vector<uint8_t> out;
+    out.reserve(count);
+    // Fetch in windows of up to kScratchSlots blocks: ONE vectored READ
+    // per window (one trap, one round trip, one deposit interrupt)
+    // where the scalar loop paid one of each per block. Each block's
+    // header+payload lands in its own scratch slot.
+    for (size_t base = 0; base < plan.size(); base += kScratchSlots) {
+        size_t window =
+            std::min<size_t>(kScratchSlots, plan.size() - base);
+        std::vector<rmem::BatchBuilder::Read> ops;
+        ops.reserve(window);
+        for (size_t i = 0; i < window; ++i) {
+            const BlockFetch &b = plan[base + i];
+            rmem::BatchBuilder::Read op;
+            op.src = areas_.data;
+            op.srcOff = static_cast<uint32_t>(b.slotOff);
+            op.dstSeg = scratchSeg_;
+            op.dstOff = static_cast<uint32_t>(i * kScratchSlotBytes);
+            op.count = static_cast<uint16_t>(kDataHeaderBytes + b.blockOff +
+                                             b.chunk);
+            ops.push_back(std::move(op));
         }
-        DataSlotHeader hdr = DataSlotHeader::decode(bytes.value());
-        if (hdr.flag != kSlotValid || hdr.fhKey != fh.key() ||
-            hdr.blockNo != blockNo) {
-            ++misses_;
-            if (fallback_ != nullptr) {
-                auto reply = co_await fallback_->call(
-                    encodeReadCall(fh, offset, count));
-                if (!reply.ok()) {
-                    co_return reply.status();
-                }
-                co_return decodeReadReply(reply.value());
+        auto outcome =
+            co_await engine_.readv(std::move(ops), kDxReadTimeout);
+        if (!outcome.status.ok()) {
+            co_return outcome.status;
+        }
+        REMORA_ASSERT(outcome.results.size() == window);
+        for (size_t i = 0; i < window; ++i) {
+            const BlockFetch &b = plan[base + i];
+            const rmem::VectorSubResult &res = outcome.results[i];
+            if (res.status != util::ErrorCode::kOk) {
+                co_return util::Status(res.status,
+                                       "block fetch rejected at server");
             }
-            co_return util::Status(util::ErrorCode::kNotFound,
-                                   "block not in server cache");
-        }
-        if (blockOff >= hdr.validBytes) {
-            break; // past end of file
-        }
-        uint32_t take = std::min(chunk, hdr.validBytes - blockOff);
-        auto data = std::span<const uint8_t>(bytes.value())
-                        .subspan(kDataHeaderBytes + blockOff, take);
-        out.insert(out.end(), data.begin(), data.end());
-        pos += take;
-        if (take < chunk) {
-            break; // short block: end of file
+            DataSlotHeader hdr = DataSlotHeader::decode(res.data);
+            if (hdr.flag != kSlotValid || hdr.fhKey != fh.key() ||
+                hdr.blockNo != b.blockNo) {
+                ++misses_;
+                if (fallback_ != nullptr) {
+                    auto reply = co_await fallback_->call(
+                        encodeReadCall(fh, offset, count));
+                    if (!reply.ok()) {
+                        co_return reply.status();
+                    }
+                    co_return decodeReadReply(reply.value());
+                }
+                co_return util::Status(util::ErrorCode::kNotFound,
+                                       "block not in server cache");
+            }
+            if (b.blockOff >= hdr.validBytes) {
+                co_return out; // past end of file
+            }
+            uint32_t take = std::min(b.chunk, hdr.validBytes - b.blockOff);
+            auto data = std::span<const uint8_t>(res.data)
+                            .subspan(kDataHeaderBytes + b.blockOff, take);
+            out.insert(out.end(), data.begin(), data.end());
+            if (take < b.chunk) {
+                co_return out; // short block: end of file
+            }
         }
     }
     co_return out;
@@ -271,6 +309,13 @@ DxBackend::read(FileHandle fh, uint64_t offset, uint32_t count)
 sim::Task<util::Status>
 DxBackend::write(FileHandle fh, uint64_t offset, std::vector<uint8_t> data)
 {
+    // Plan every block's sub-ops up front, then ship them as vectored
+    // WRITE batches: one trap and one frame cover many blocks where the
+    // scalar loop paid per block. Sub-op order inside a batch is
+    // preserved by the serving CPU's FIFO, so the data-first / tag-last
+    // discipline holds exactly as it did for sequential scalar writes —
+    // a concurrent reader never sees a valid tag over missing bytes.
+    std::vector<rmem::BatchBuilder::Write> subs;
     uint64_t pos = 0;
     while (pos < data.size()) {
         uint64_t abs = offset + pos;
@@ -293,36 +338,50 @@ DxBackend::write(FileHandle fh, uint64_t offset, std::vector<uint8_t> data)
         auto chunkSpan =
             std::span<const uint8_t>(data).subspan(pos, chunk);
         if (blockOff == 0) {
-            // Header and data are contiguous: one remote write.
+            // Header and data are contiguous: one sub-op.
             std::vector<uint8_t> buf;
             buf.reserve(kDataHeaderBytes + chunk);
             buf.insert(buf.end(), hdrBuf.begin(), hdrBuf.end());
             buf.insert(buf.end(), chunkSpan.begin(), chunkSpan.end());
-            util::Status ws = co_await engine_.write(
+            subs.push_back(rmem::BatchBuilder::Write{
                 areas_.data, static_cast<uint32_t>(slotOff),
-                std::move(buf));
-            if (!ws.ok()) {
-                co_return ws;
-            }
+                std::move(buf), false});
         } else {
-            // Data first, tag last, so a concurrent reader never sees
-            // a valid tag over missing bytes.
-            util::Status ws = co_await engine_.write(
+            // Data first, tag last.
+            subs.push_back(rmem::BatchBuilder::Write{
                 areas_.data,
                 static_cast<uint32_t>(slotOff + kDataHeaderBytes +
                                       blockOff),
-                std::vector<uint8_t>(chunkSpan.begin(), chunkSpan.end()));
-            if (!ws.ok()) {
-                co_return ws;
-            }
-            ws = co_await engine_.write(
+                std::vector<uint8_t>(chunkSpan.begin(), chunkSpan.end()),
+                false});
+            subs.push_back(rmem::BatchBuilder::Write{
                 areas_.data, static_cast<uint32_t>(slotOff),
-                std::move(hdrBuf));
-            if (!ws.ok()) {
-                co_return ws;
-            }
+                std::move(hdrBuf), false});
         }
         pos += chunk;
+    }
+
+    rmem::BatchBuilder batch(engine_);
+    for (rmem::BatchBuilder::Write &sub : subs) {
+        rmem::BatchBuilder::Write retry = sub; // kept for flush-and-retry
+        util::Status s = batch.addWrite(std::move(sub));
+        if (s.code() == util::ErrorCode::kResource && !batch.empty()) {
+            // Frame budget reached: flush what we have and retry.
+            auto outcome = co_await batch.issue();
+            if (!outcome.status.ok()) {
+                co_return outcome.status;
+            }
+            s = batch.addWrite(std::move(retry));
+        }
+        if (!s.ok()) {
+            co_return s;
+        }
+    }
+    if (!batch.empty()) {
+        auto outcome = co_await batch.issue();
+        if (!outcome.status.ok()) {
+            co_return outcome.status;
+        }
     }
     co_return util::Status();
 }

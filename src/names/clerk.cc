@@ -432,35 +432,61 @@ NameClerk::probeRemote(net::NodeId node, std::string name,
     auto &cpu = engine_.node().cpu();
 
     uint64_t wanted = NameRecord::nameHashOf(name);
-    for (uint32_t probe = 0; probe < maxProbes; ++probe) {
-        uint32_t off = bucketOffset(name, probe);
-        uint32_t slot = (stats_.remoteReads.value() % kProbeSlots) *
-                        NameRecord::kBytes;
-        stats_.remoteReads.inc();
-        stats_.remoteProbes.inc();
-        // Fetch only the record prefix: the reply fits one ATM cell.
-        auto outcome = co_await engine_.read(
-            peer.registry, off, kScratchDescriptor, slot,
-            NameRecord::kPrefixBytes, false, params_.readTimeout);
+    // Windows grow geometrically (1, 4, 16, then kProbeSlots): linear
+    // probing almost always resolves on the first bucket, so the first
+    // exchange stays a single-cell read; a collision chain costs
+    // O(log n) round trips instead of one per probe.
+    uint32_t grow = 1;
+    for (uint32_t base = 0; base < maxProbes; base += grow, grow =
+                                                  std::min(grow * 4,
+                                                           kProbeSlots)) {
+        uint32_t window = std::min(grow, maxProbes - base);
+        // One vectored READ fetches the whole probe window's record
+        // prefixes in a single request/response frame: one trap and one
+        // round trip where the scalar loop paid one per probe. Each
+        // prefix lands in its own scratch slot; the scan below is local.
+        std::vector<rmem::BatchBuilder::Read> ops;
+        ops.reserve(window);
+        for (uint32_t i = 0; i < window; ++i) {
+            rmem::BatchBuilder::Read op;
+            op.src = peer.registry;
+            op.srcOff = bucketOffset(name, base + i);
+            op.dstSeg = kScratchDescriptor;
+            op.dstOff = i * NameRecord::kBytes;
+            op.count = NameRecord::kPrefixBytes;
+            ops.push_back(op);
+        }
+        stats_.remoteReads.inc(); // one wire op per window
+        stats_.remoteProbes.inc(window);
+        auto outcome =
+            co_await engine_.readv(std::move(ops), params_.readTimeout);
         if (!outcome.status.ok()) {
             co_return outcome.status;
         }
-        co_await cpu.use(params_.costs.probeCompare,
-                         sim::CpuCategory::kProcExec);
-        uint64_t hash = 0;
-        NameRecord rec = NameRecord::decodePrefix(outcome.data, &hash);
-        if (rec.flag == RecordFlag::kEmpty) {
-            co_return util::Status(util::ErrorCode::kNotFound,
-                                   "name absent at peer: " + name);
-        }
-        if (rec.flag == RecordFlag::kValid && hash == wanted) {
-            // Hit: full record parse/validation before installing it.
-            co_await cpu.use(params_.costs.recordParse,
+        REMORA_ASSERT(outcome.results.size() == window);
+        for (uint32_t i = 0; i < window; ++i) {
+            const rmem::VectorSubResult &res = outcome.results[i];
+            if (res.status != util::ErrorCode::kOk) {
+                co_return util::Status(res.status,
+                                       "probe read rejected at peer");
+            }
+            co_await cpu.use(params_.costs.probeCompare,
                              sim::CpuCategory::kProcExec);
-            rec.name = name;
-            co_return rec;
+            uint64_t hash = 0;
+            NameRecord rec = NameRecord::decodePrefix(res.data, &hash);
+            if (rec.flag == RecordFlag::kEmpty) {
+                co_return util::Status(util::ErrorCode::kNotFound,
+                                       "name absent at peer: " + name);
+            }
+            if (rec.flag == RecordFlag::kValid && hash == wanted) {
+                // Hit: full record parse/validation before installing it.
+                co_await cpu.use(params_.costs.recordParse,
+                                 sim::CpuCategory::kProcExec);
+                rec.name = name;
+                co_return rec;
+            }
+            // Collision or tombstone: keep scanning the window.
         }
-        // Collision or tombstone: keep probing.
     }
     co_return util::Status(util::ErrorCode::kResource,
                            "probe budget exhausted for: " + name);

@@ -79,11 +79,14 @@ BenchDiffResult::render() const
         if (e.ok) {
             continue;
         }
+        const char *dirNote =
+            e.direction > 0 ? ", higher is better"
+                            : (e.direction < 0 ? ", lower is better" : "");
         std::snprintf(line, sizeof(line),
                       "  FAIL  %s: %.4g -> %.4g (%+.1f%%, tolerance "
-                      "%.1f%%)\n",
+                      "%.1f%%%s)\n",
                       e.metric.c_str(), e.baseline, e.candidate, e.deltaPct,
-                      e.tolerancePct);
+                      e.tolerancePct, dirNote);
         out += line;
     }
     for (const auto &name : fresh) {
@@ -131,14 +134,30 @@ diffReports(const util::JsonValue &baseline, const util::JsonValue &candidate,
         e.tolerancePct = tol != opts.tolerances.end()
                              ? tol->second
                              : opts.defaultTolerancePct;
+        auto dir = opts.directions.find(name);
+        e.direction = dir != opts.directions.end()
+                          ? (dir->second < 0 ? -1 : 1)
+                          : 0;
         if (e.baseline == 0.0) {
-            // No relative scale; only an exact hold is meaningful.
+            // No relative scale; only an exact hold is meaningful —
+            // except that a directed metric moving the good way from
+            // zero is an improvement, not a regression.
             e.deltaPct = 0.0;
-            e.ok = e.candidate == 0.0;
+            e.ok = e.candidate == 0.0 ||
+                   (e.direction != 0 &&
+                    e.direction * (e.candidate - e.baseline) > 0.0);
         } else {
             e.deltaPct =
                 100.0 * (e.candidate - e.baseline) / std::abs(e.baseline);
-            e.ok = std::abs(e.deltaPct) <= e.tolerancePct;
+            if (e.direction > 0) {
+                // Higher is better: only a drop past tolerance fails.
+                e.ok = e.deltaPct >= -e.tolerancePct;
+            } else if (e.direction < 0) {
+                // Lower is better: only a rise past tolerance fails.
+                e.ok = e.deltaPct <= e.tolerancePct;
+            } else {
+                e.ok = std::abs(e.deltaPct) <= e.tolerancePct;
+            }
         }
         result.entries.push_back(e);
     }

@@ -5,11 +5,18 @@
  * The regression gate (scripts/check.sh --bench) re-runs the benches,
  * then compares each fresh BENCH_<name>.json against the checked-in
  * copy under bench/baselines/. A metric fails when its relative change
- * exceeds its tolerance (two-sided: surprise speedups want the
- * baseline refreshed, not ignored); a metric or check that disappears
- * fails structurally; a check that flips to false fails. New metrics
- * in the candidate are reported but do not fail — they are what a
- * baseline refresh is for.
+ * exceeds its tolerance (two-sided by default: surprise speedups want
+ * the baseline refreshed, not ignored); a metric or check that
+ * disappears fails structurally; a check that flips to false fails.
+ * New metrics in the candidate are reported but do not fail — they are
+ * what a baseline refresh is for.
+ *
+ * Metrics with a known direction can opt out of the two-sided rule: a
+ * "higher is better" metric (throughput, speedup ratio) fails only on
+ * a drop beyond tolerance, and a "lower is better" one (latency, CPU
+ * busy) only on a rise. Moves in the good direction are never failures
+ * for a directed metric — the gate's job there is catching
+ * regressions, not celebrating wins.
  *
  * The comparison logic lives here in the library (not in the CLI) so
  * the unit tests can drive it on synthetic reports — including the
@@ -33,6 +40,14 @@ struct BenchDiffOptions
     double defaultTolerancePct = 5.0;
     /** Per-metric overrides, full dotted metric name -> tolerance pct. */
     std::map<std::string, double> tolerances;
+    /**
+     * Per-metric direction hints, full dotted metric name -> sign.
+     * +1 means higher is better (fail only when the candidate drops
+     * more than tolerance below baseline); -1 means lower is better
+     * (fail only when it rises more than tolerance above). Metrics not
+     * listed keep the two-sided rule.
+     */
+    std::map<std::string, int> directions;
 };
 
 /** One compared metric. */
@@ -44,6 +59,8 @@ struct BenchDiffEntry
     /** Relative change, percent (0 when baseline == 0). */
     double deltaPct = 0.0;
     double tolerancePct = 0.0;
+    /** Direction hint applied: +1 higher-is-better, -1 lower, 0 two-sided. */
+    int direction = 0;
     bool ok = true;
 };
 

@@ -79,6 +79,23 @@ struct CostModel
     sim::Duration casExecCost = sim::usec(0.8);
 
     /**
+     * Initiator-side marginal cost of one sub-op in a vectored
+     * meta-instruction: formatting its descriptor into the batch and
+     * loading its message registers. The trap, header, and validation
+     * are charged once per batch — that single-charging is the entire
+     * point of the vectored path.
+     */
+    sim::Duration vectorSubOpIssueCost = sim::usec(0.4);
+
+    /**
+     * Serving-side marginal cost of one sub-op in a vectored request:
+     * demuxing its descriptor from the batch and dispatching it.
+     * Validation is charged once per distinct (slot, generation,
+     * rights) key via the serving-side validation cache.
+     */
+    sim::Duration vectorSubOpServeCost = sim::usec(0.3);
+
+    /**
      * Delivering a notification to a process: marking the segment's
      * descriptor readable, waking the blocked process (two context
      * switches), and running the select/signal dispatch. This is the

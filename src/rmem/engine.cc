@@ -1,6 +1,8 @@
 #include "rmem/engine.h"
 
 #include <algorithm>
+#include <map>
+#include <optional>
 #include <utility>
 
 #include "net/aal5.h"
@@ -10,6 +12,26 @@
 #include "util/panic.h"
 
 namespace remora::rmem {
+
+/** Shared progress of one served vectored request. */
+struct RmemEngine::VectorServeState
+{
+    net::NodeId src = 0;
+    ReqId reqId = 0;
+    bool wantResponse = false;
+    uint64_t op = 0;
+    obs::SpanId span = obs::kNoSpan;
+    std::vector<VectorSubResult> results;
+    /** Valid sub-ops whose stage-2 event has not completed yet. */
+    size_t remaining = 0;
+    /**
+     * Notifications queued per destination segment, flushed as one
+     * doorbell per channel when the last sub-op completes. Keyed by
+     * slot id (deterministic order; re-resolved at flush so a segment
+     * revoked mid-batch cannot dangle).
+     */
+    std::map<SegmentId, std::vector<Notification>> notify;
+};
 
 namespace {
 
@@ -453,6 +475,196 @@ RmemEngine::cas(ImportedSegment dst, uint32_t offset, uint32_t oldValue,
 }
 
 // ----------------------------------------------------------------------
+// Vectored meta-instructions (initiator side)
+// ----------------------------------------------------------------------
+
+sim::Task<VectorOutcome>
+RmemEngine::issueVector(VectorBatch batch, sim::Duration timeout)
+{
+    size_t n = batch.ops.size();
+    if (n == 0) {
+        co_return VectorOutcome{util::Status(), {}};
+    }
+    stats_.vectorsIssued.inc();
+    stats_.vectorSubOps.inc(n);
+    node_.simulator().noteDigest(
+        "rmem.vector", (static_cast<uint64_t>(batch.target) << 8) | n);
+    if (n > kMaxVectorOps || batch.local.size() != n) {
+        co_return VectorOutcome{
+            util::Status(util::ErrorCode::kInvalidArgument,
+                         "malformed vector batch"),
+            {}};
+    }
+
+    VectorReq req;
+    req.ops = std::move(batch.ops);
+    if (encodedVectorSize(req) > kBlockDataMax ||
+        encodedVectorRespSize(req) > kBlockDataMax) {
+        co_return VectorOutcome{
+            util::Status(util::ErrorCode::kResource,
+                         "vector batch exceeds frame budget"),
+            {}};
+    }
+
+    // Resolve local deposit coordinates up front, like scalar read():
+    // the destination process/address is fixed at issue time.
+    bool wantResponse = false;
+    std::vector<VectorDeposit> deposits(n);
+    for (size_t i = 0; i < n; ++i) {
+        const VectorSubOp &sub = req.ops[i];
+        if (sub.kind == VecOpKind::kWrite) {
+            continue;
+        }
+        wantResponse = true;
+        const VectorLocalDeposit &loc = batch.local[i];
+        SegmentDescriptor *dst = table_.get(loc.dstSeg);
+        uint32_t bytes = sub.kind == VecOpKind::kRead ? sub.count : 4;
+        if (dst == nullptr ||
+            static_cast<uint64_t>(loc.dstOff) + bytes > dst->size ||
+            (sub.kind == VecOpKind::kCas && loc.dstOff % 4 != 0)) {
+            co_return VectorOutcome{
+                util::Status(util::ErrorCode::kInvalidArgument,
+                             "vector deposit location invalid"),
+                {}};
+        }
+        deposits[i] =
+            VectorDeposit{true,       sub.kind,   dst->ownerPid,
+                          dst->base + loc.dstOff, loc.notify, loc.dstSeg};
+    }
+
+    sim::Time start = node_.simulator().now();
+    uint64_t opId = 0;
+    if (obs::TraceRecorder::on()) {
+        auto &rec = obs::TraceRecorder::instance();
+        opId = rec.newAsyncId();
+        rec.asyncBegin(opId, node_.name(), "rmem", "vector",
+                       "ops=" + std::to_string(n) + " dst=" +
+                           std::to_string(batch.target));
+    }
+
+    // ONE trap + header + validation for the batch; every sub-op after
+    // the first pays only its marginal issue cost. This is the entire
+    // amortization the vectored path exists for.
+    obs::SpanId issueSpan = obs::kNoSpan;
+    if (opId != 0) {
+        issueSpan = obs::TraceRecorder::instance().beginSpanFor(
+            opId, node_.name(), "rmem", "issue");
+    }
+    co_await node_.cpu().use(costs_.trapOverhead + costs_.validateCost +
+                                 static_cast<sim::Duration>(n) *
+                                     costs_.vectorSubOpIssueCost,
+                             sim::CpuCategory::kOther);
+    obs::TraceRecorder::instance().endSpan(issueSpan);
+
+    size_t reqBytes = encodedVectorSize(req);
+    size_t respBytes = encodedVectorRespSize(req);
+
+    if (!wantResponse) {
+        // Pure-write batch: local completion when the frame is accepted
+        // by the network; target-side failures NAK like scalar writes.
+        req.reqId = 0;
+        auto accepted = wire_.send(batch.target, Message(std::move(req)),
+                                   sim::CpuCategory::kDataReply, opId);
+        co_await accepted;
+        recordOp(metrics_.vector, start, 0, 0);
+        if (opId != 0) {
+            obs::TraceRecorder::instance().asyncEnd(opId, node_.name(),
+                                                    "rmem", "vector");
+        }
+        co_return VectorOutcome{util::Status(), {}};
+    }
+
+    ReqId id = allocReqId();
+    req.reqId = id;
+    auto [it, inserted] = pendingVectors_.try_emplace(
+        id, PendingVector{std::move(deposits),
+                          sim::Promise<VectorOutcome>(node_.simulator()),
+                          0});
+    REMORA_ASSERT(inserted);
+    auto fut = it->second.done.future();
+    if (timeout > 0) {
+        it->second.timeoutEvent =
+            node_.simulator().schedule(timeout, [this, id] {
+                auto pit = pendingVectors_.find(id);
+                if (pit == pendingVectors_.end()) {
+                    return;
+                }
+                PendingVector p = std::move(pit->second);
+                pendingVectors_.erase(pit);
+                stats_.timeouts.inc();
+                p.done.set(VectorOutcome{
+                    util::Status(util::ErrorCode::kTimeout,
+                                 "vectored op timed out"),
+                    {}});
+            });
+    }
+
+    wire_.send(batch.target, Message(std::move(req)),
+               sim::CpuCategory::kDataReply, opId);
+    // One request frame out, one response frame back, two NIC
+    // interrupts on the critical path — for the whole batch.
+    sim::Duration wireTime = modelWireTime(
+        reqBytes <= net::Cell::kPayloadBytes ? 1
+                                             : net::aal5CellCount(reqBytes),
+        respBytes <= net::Cell::kPayloadBytes
+            ? 1
+            : net::aal5CellCount(respBytes));
+    sim::Duration controllerTime = 2 * node_.nic().interruptLatency();
+
+    VectorOutcome out = co_await fut;
+    if (out.status.ok()) {
+        recordOp(metrics_.vector, start, wireTime, controllerTime);
+    }
+    if (opId != 0) {
+        obs::TraceRecorder::instance().asyncEnd(
+            opId, node_.name(), "rmem", "vector", out.status.message());
+    }
+    co_return out;
+}
+
+sim::Task<util::Status>
+RmemEngine::writev(std::vector<BatchBuilder::Write> ops)
+{
+    BatchBuilder b(*this);
+    for (BatchBuilder::Write &op : ops) {
+        util::Status s = b.addWrite(std::move(op));
+        if (!s.ok()) {
+            co_return s;
+        }
+    }
+    VectorOutcome out = co_await b.issue();
+    co_return out.status;
+}
+
+sim::Task<VectorOutcome>
+RmemEngine::readv(std::vector<BatchBuilder::Read> ops, sim::Duration timeout)
+{
+    BatchBuilder b(*this);
+    for (const BatchBuilder::Read &op : ops) {
+        util::Status s = b.addRead(op);
+        if (!s.ok()) {
+            co_return VectorOutcome{s, {}};
+        }
+    }
+    VectorOutcome out = co_await b.issue(timeout);
+    co_return out;
+}
+
+sim::Task<VectorOutcome>
+RmemEngine::casv(std::vector<BatchBuilder::Cas> ops, sim::Duration timeout)
+{
+    BatchBuilder b(*this);
+    for (const BatchBuilder::Cas &op : ops) {
+        util::Status s = b.addCas(op);
+        if (!s.ok()) {
+            co_return VectorOutcome{s, {}};
+        }
+    }
+    VectorOutcome out = co_await b.issue(timeout);
+    co_return out;
+}
+
+// ----------------------------------------------------------------------
 // Serving side
 // ----------------------------------------------------------------------
 
@@ -469,6 +681,11 @@ RmemEngine::onMessage(net::NodeId src, Message &&msg)
         void operator()(CasReq &m) { eng->serveCas(src, std::move(m)); }
         void operator()(CasResp &m) { eng->completeCas(src, std::move(m)); }
         void operator()(Nak &m) { eng->handleNak(src, m); }
+        void operator()(VectorReq &m) { eng->serveVector(src, std::move(m)); }
+        void operator()(VectorResp &m)
+        {
+            eng->completeVector(src, std::move(m));
+        }
         void operator()(RpcMsg &) {
             REMORA_PANIC("RPC message routed to rmem engine");
         }
@@ -719,6 +936,256 @@ RmemEngine::serveCas(net::NodeId src, CasReq &&req)
 }
 
 void
+RmemEngine::serveVector(net::NodeId src, VectorReq &&req)
+{
+    size_t n = req.ops.size();
+    stats_.requestsServed.inc();
+    stats_.vectorServed.inc();
+    stats_.vectorSubOpsServed.inc(n);
+    obs::SpanId span = obs::kNoSpan;
+    if (obs::TraceRecorder::on()) {
+        span = obs::TraceRecorder::instance().beginSpan(
+            node_.name(), "rmem", "serve_vector",
+            "ops=" + std::to_string(n) + " from=" + std::to_string(src));
+    }
+    auto st = std::make_shared<VectorServeState>();
+    st->src = src;
+    st->reqId = req.reqId;
+    st->wantResponse = (req.reqId != 0);
+    st->op = obs::TraceRecorder::currentOp();
+    st->span = span;
+    st->results.resize(n);
+
+    // Stage 1: ONE demux charge for the frame, one validateCost per
+    // *distinct* (slot, generation, rights) key — the validation-cache
+    // amortization — plus the per-sub-op marginal serve cost.
+    sim::Duration stage1Cost =
+        costs_.msgHandleCost +
+        static_cast<sim::Duration>(distinctValidationKeys(req.ops)) *
+            costs_.validateCost +
+        static_cast<sim::Duration>(n) * costs_.vectorSubOpServeCost;
+    node_.cpu().post(stage1Cost, sim::CpuCategory::kDataReceive,
+                     [this, st, req = std::move(req)]() mutable {
+                         obs::OpScope opScope(st->op);
+                         executeVector(st, std::move(req));
+                     });
+}
+
+void
+RmemEngine::executeVector(const std::shared_ptr<VectorServeState> &st,
+                          VectorReq &&req)
+{
+    size_t n = req.ops.size();
+    ValidationCache cache(table_);
+    std::vector<SegmentDescriptor *> descs(n, nullptr);
+    for (size_t i = 0; i < n; ++i) {
+        const VectorSubOp &sub = req.ops[i];
+        st->results[i].kind = sub.kind;
+        uint64_t count = sub.kind == VecOpKind::kWrite ? sub.data.size()
+                         : sub.kind == VecOpKind::kRead ? sub.count
+                                                        : 4;
+        auto v = cache.validate(sub.descriptor, sub.generation, sub.offset,
+                                count, vecOpRights(sub.kind));
+        if (!v.ok()) {
+            st->results[i].status = v.status().code();
+        } else if (sub.kind == VecOpKind::kCas && sub.offset % 4 != 0) {
+            st->results[i].status = util::ErrorCode::kInvalidArgument;
+        } else {
+            descs[i] = v.value();
+            ++st->remaining;
+        }
+    }
+    stats_.vectorValidateHits.inc(cache.hits());
+    if (st->remaining == 0) {
+        // Nothing executable. Response-carrying batches report per-sub-op
+        // status; a pure-write batch NAKs once like a scalar bad write.
+        if (st->wantResponse) {
+            finishVector(st);
+        } else {
+            sendNak(st->src, 0, st->results.empty()
+                                    ? util::ErrorCode::kInvalidArgument
+                                    : st->results.front().status,
+                    MsgType::kVectorOp);
+            obs::TraceRecorder::instance().endSpan(st->span);
+        }
+        return;
+    }
+    // Stage 2: one deferred event per valid sub-op, each carrying its
+    // own byte-range DepHint so the explorer sees sub-op granularity.
+    for (size_t i = 0; i < n; ++i) {
+        if (descs[i] == nullptr) {
+            continue;
+        }
+        VectorSubOp sub = std::move(req.ops[i]);
+        uint64_t segKey =
+            (static_cast<uint64_t>(node_.id()) << 8) | sub.descriptor;
+        sim::Duration cost;
+        sim::CpuCategory cat;
+        std::optional<sim::Simulator::HintScope> hint;
+        switch (sub.kind) {
+          case VecOpKind::kWrite:
+            cost = translateCost(costs_, sub.offset, sub.data.size()) +
+                   costs_.copyCost(sub.data.size());
+            cat = sim::CpuCategory::kDataReceive;
+            hint.emplace(node_.simulator(),
+                         sim::DepHint::segRange(
+                             segKey, sub.offset,
+                             sub.offset +
+                                 static_cast<uint32_t>(sub.data.size())));
+            break;
+          case VecOpKind::kRead:
+            cost = translateCost(costs_, sub.offset, sub.count) +
+                   costs_.copyCost(sub.count);
+            cat = sim::CpuCategory::kDataReply;
+            hint.emplace(node_.simulator(),
+                         sim::DepHint::segRange(segKey, sub.offset,
+                                                sub.offset + sub.count));
+            break;
+          case VecOpKind::kCas:
+            cost = translateCost(costs_, sub.offset, 4) + costs_.casExecCost;
+            cat = sim::CpuCategory::kDataReceive;
+            hint.emplace(node_.simulator(),
+                         sim::DepHint::syncWord(segKey, sub.offset));
+            break;
+        }
+        node_.cpu().post(cost, cat,
+                         [this, st, i, sub = std::move(sub)]() mutable {
+                             obs::OpScope opScope(st->op);
+                             executeVectorSubOp(st, i, std::move(sub));
+                         });
+    }
+}
+
+void
+RmemEngine::executeVectorSubOp(const std::shared_ptr<VectorServeState> &st,
+                               size_t index, VectorSubOp &&sub)
+{
+    VectorSubResult &res = st->results[index];
+    // Re-validate: the slot may have been revoked while the sub-op's
+    // copy was in flight (mirrors the scalar two-stage serve).
+    uint64_t count = sub.kind == VecOpKind::kWrite ? sub.data.size()
+                     : sub.kind == VecOpKind::kRead ? sub.count
+                                                    : 4;
+    auto v = table_.validate(sub.descriptor, sub.generation, sub.offset,
+                             count, vecOpRights(sub.kind));
+    SegmentDescriptor *d = v.ok() ? v.value() : nullptr;
+    mem::Process *owner = d != nullptr ? ownerOf(*d) : nullptr;
+    if (owner == nullptr) {
+        res.status = v.ok() ? util::ErrorCode::kBadDescriptor
+                            : v.status().code();
+        if (--st->remaining == 0) {
+            finishVector(st);
+        }
+        return;
+    }
+    // Every sub-op store/load belongs to the initiating node's timeline
+    // — the race detector sees per-sub-op byte-range accesses.
+    RaceDetector::ScopedActor raceScope(
+        st->src,
+        "rmem serve_vector sub-op from node " + std::to_string(st->src));
+    switch (sub.kind) {
+      case VecOpKind::kWrite: {
+        util::Status ws = owner->space().write(d->base + sub.offset,
+                                               sub.data);
+        REMORA_ASSERT(ws.ok());
+        bool fire = d->policy == NotifyPolicy::kAlways ||
+                    (d->policy == NotifyPolicy::kConditional && sub.notify);
+        if (fire && d->channel) {
+            st->notify[sub.descriptor].push_back(Notification{
+                st->src, NotifyKind::kWrite, sub.offset,
+                static_cast<uint32_t>(sub.data.size()), st->op});
+        }
+        break;
+      }
+      case VecOpKind::kRead: {
+        res.data.resize(sub.count);
+        util::Status rs = owner->space().read(d->base + sub.offset,
+                                              res.data);
+        REMORA_ASSERT(rs.ok());
+        // Exporter-side notification only under always-notify; the
+        // sub-op's notify bit asks for reader-side notification.
+        if (d->policy == NotifyPolicy::kAlways && d->channel) {
+            st->notify[sub.descriptor].push_back(
+                Notification{st->src, NotifyKind::kRead, sub.offset,
+                             sub.count, st->op});
+        }
+        break;
+      }
+      case VecOpKind::kCas: {
+        if (RaceDetector::on()) {
+            RaceDetector::instance().markSyncWord(node_.id(),
+                                                  sub.descriptor,
+                                                  sub.offset);
+        }
+        auto word = owner->space().readWord(d->base + sub.offset);
+        REMORA_ASSERT(word.ok());
+        res.observed = word.value();
+        res.success = (word.value() == sub.oldValue);
+        if (res.success) {
+            util::Status ws = owner->space().writeWord(d->base + sub.offset,
+                                                       sub.newValue);
+            REMORA_ASSERT(ws.ok());
+        }
+        bool fire = d->policy == NotifyPolicy::kAlways ||
+                    (d->policy == NotifyPolicy::kConditional && sub.notify);
+        if (fire && d->channel) {
+            st->notify[sub.descriptor].push_back(Notification{
+                st->src, NotifyKind::kCas, sub.offset, 4, st->op});
+        }
+        break;
+      }
+    }
+    if (obs::TraceRecorder::on()) {
+        obs::TraceRecorder::instance().instant(
+            node_.name(), "rmem", "vector_sub",
+            "idx=" + std::to_string(index) + " kind=" +
+                std::to_string(static_cast<int>(sub.kind)));
+    }
+    if (--st->remaining == 0) {
+        finishVector(st);
+    }
+}
+
+void
+RmemEngine::finishVector(const std::shared_ptr<VectorServeState> &st)
+{
+    // Doorbell coalescing: all notify-marked sub-ops that landed in the
+    // same segment's channel post as ONE batch — one dispatch charge,
+    // one release edge — instead of one doorbell per sub-op. Channels
+    // are re-resolved by slot here so a mid-batch revoke cannot leave a
+    // dangling channel pointer.
+    if (!st->notify.empty()) {
+        RaceDetector::ScopedActor raceScope(
+            st->src,
+            "rmem vector notify from node " + std::to_string(st->src));
+        for (auto &[segId, recs] : st->notify) {
+            SegmentDescriptor *d = table_.get(segId);
+            if (d == nullptr || !d->channel) {
+                continue;
+            }
+            stats_.notificationsPosted.inc(recs.size());
+            stats_.vectorDoorbells.inc();
+            if (obs::TraceRecorder::on()) {
+                obs::TraceRecorder::instance().instant(
+                    node_.name(), "rmem", "notify_batch",
+                    "records=" + std::to_string(recs.size()));
+            }
+            d->channel->postBatch(recs);
+        }
+        st->notify.clear();
+    }
+    if (st->wantResponse) {
+        obs::OpScope opScope(st->op);
+        VectorResp resp;
+        resp.reqId = st->reqId;
+        resp.results = std::move(st->results);
+        wire_.send(st->src, Message(std::move(resp)),
+                   sim::CpuCategory::kDataReply);
+    }
+    obs::TraceRecorder::instance().endSpan(st->span);
+}
+
+void
 RmemEngine::completeRead(net::NodeId src, ReadResp &&resp)
 {
     auto it = pendingReads_.find(resp.reqId);
@@ -802,6 +1269,90 @@ RmemEngine::completeCas(net::NodeId src, CasResp &&resp)
 }
 
 void
+RmemEngine::completeVector(net::NodeId src, VectorResp &&resp)
+{
+    auto it = pendingVectors_.find(resp.reqId);
+    if (it == pendingVectors_.end()) {
+        return; // timed out or duplicate; drop silently
+    }
+    PendingVector p = std::move(it->second);
+    pendingVectors_.erase(it);
+    if (p.timeoutEvent != 0) {
+        node_.simulator().cancel(p.timeoutEvent);
+    }
+    if (resp.results.size() != p.deposits.size()) {
+        p.done.set(VectorOutcome{
+            util::Status(util::ErrorCode::kMalformed,
+                         "vector response arity mismatch"),
+            std::move(resp.results)});
+        return;
+    }
+    obs::SpanId span = obs::kNoSpan;
+    if (obs::TraceRecorder::on()) {
+        span = obs::TraceRecorder::instance().beginSpan(
+            node_.name(), "rmem", "deposit_vector",
+            "results=" + std::to_string(resp.results.size()));
+    }
+    uint64_t op = obs::TraceRecorder::currentOp();
+    // ONE deposit event for the whole batch: demux once, then copy each
+    // successful READ payload / CAS result word into place.
+    sim::Duration cost = costs_.msgHandleCost;
+    for (size_t i = 0; i < resp.results.size(); ++i) {
+        const VectorSubResult &r = resp.results[i];
+        if (!p.deposits[i].active || r.status != util::ErrorCode::kOk) {
+            continue;
+        }
+        cost += r.kind == VecOpKind::kRead ? costs_.copyCost(r.data.size())
+                                           : costs_.copyWordCost;
+    }
+    node_.cpu().post(
+        cost, sim::CpuCategory::kDataReceive,
+        [this, src, span, op, p = std::move(p),
+         results = std::move(resp.results)]() mutable {
+            obs::OpScope opScope(op);
+            RaceDetector::ScopedActor raceScope(
+                node_.id(), "rmem deposit_vector on node " +
+                                std::to_string(node_.id()));
+            // Reader-side notifications coalesce per destination
+            // segment, exactly like the serving side's doorbells.
+            std::map<SegmentId, std::vector<Notification>> notify;
+            for (size_t i = 0; i < results.size(); ++i) {
+                const VectorDeposit &dep = p.deposits[i];
+                const VectorSubResult &r = results[i];
+                if (!dep.active || r.status != util::ErrorCode::kOk) {
+                    continue;
+                }
+                mem::Process *proc = node_.findProcess(dep.pid);
+                if (proc == nullptr) {
+                    continue;
+                }
+                if (r.kind == VecOpKind::kRead) {
+                    util::Status ws = proc->space().write(dep.va, r.data);
+                    REMORA_ASSERT(ws.ok());
+                    if (dep.notify) {
+                        notify[dep.dstSeg].push_back(Notification{
+                            src, NotifyKind::kRead, 0,
+                            static_cast<uint32_t>(r.data.size()), op});
+                    }
+                } else if (r.kind == VecOpKind::kCas) {
+                    util::Status ws = proc->space().writeWord(
+                        dep.va, r.success ? 1u : 0u);
+                    REMORA_ASSERT(ws.ok());
+                }
+            }
+            for (auto &[segId, recs] : notify) {
+                if (NotificationChannel *ch = channel(segId)) {
+                    stats_.notificationsPosted.inc(recs.size());
+                    stats_.vectorDoorbells.inc();
+                    ch->postBatch(recs);
+                }
+            }
+            obs::TraceRecorder::instance().endSpan(span);
+            p.done.set(VectorOutcome{util::Status(), std::move(results)});
+        });
+}
+
+void
 RmemEngine::handleNak(net::NodeId src, const Nak &nak)
 {
     stats_.naksReceived.inc();
@@ -829,6 +1380,17 @@ RmemEngine::handleNak(net::NodeId src, const Nak &nak)
         }
         p.done.set(CasOutcome{util::Status(nak.error, "remote rejected CAS"),
                               false, 0});
+        return;
+    }
+    if (auto it = pendingVectors_.find(nak.reqId);
+        it != pendingVectors_.end()) {
+        PendingVector p = std::move(it->second);
+        pendingVectors_.erase(it);
+        if (p.timeoutEvent != 0) {
+            node_.simulator().cancel(p.timeoutEvent);
+        }
+        p.done.set(VectorOutcome{
+            util::Status(nak.error, "remote rejected vectored op"), {}});
         return;
     }
     // NAK for a write or an already-resolved request: counted above.
@@ -891,7 +1453,8 @@ RmemEngine::allocReqId()
             continue; // zero is reserved for id-less NAKs
         }
         if (pendingReads_.find(id) == pendingReads_.end() &&
-            pendingCas_.find(id) == pendingCas_.end()) {
+            pendingCas_.find(id) == pendingCas_.end() &&
+            pendingVectors_.find(id) == pendingVectors_.end()) {
             return id;
         }
     }
@@ -952,6 +1515,12 @@ RmemEngine::registerStats(obs::MetricRegistry &reg,
     reg.add(prefix + ".naks_received", stats_.naksReceived);
     reg.add(prefix + ".notifications_posted", stats_.notificationsPosted);
     reg.add(prefix + ".timeouts", stats_.timeouts);
+    reg.add(prefix + ".vector.issued", stats_.vectorsIssued);
+    reg.add(prefix + ".vector.sub_ops", stats_.vectorSubOps);
+    reg.add(prefix + ".vector.served", stats_.vectorServed);
+    reg.add(prefix + ".vector.sub_ops_served", stats_.vectorSubOpsServed);
+    reg.add(prefix + ".vector.doorbells", stats_.vectorDoorbells);
+    reg.add(prefix + ".vector.validate_hits", stats_.vectorValidateHits);
     auto addOp = [&reg, &prefix](const char *name, const OpPhaseStats &op) {
         std::string base = prefix + "." + name;
         reg.add(base + ".latency_us", op.latencyUs);
@@ -963,6 +1532,7 @@ RmemEngine::registerStats(obs::MetricRegistry &reg,
     addOp("write", metrics_.write);
     addOp("read", metrics_.read);
     addOp("cas", metrics_.cas);
+    addOp("vector", metrics_.vector);
     wire_.registerStats(reg, prefix + ".wire");
 }
 

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -38,6 +39,7 @@
 #include "rmem/descriptor.h"
 #include "rmem/protocol.h"
 #include "rmem/segment.h"
+#include "rmem/vector_op.h"
 #include "rmem/wire.h"
 #include "sim/stats.h"
 #include "sim/task.h"
@@ -74,6 +76,18 @@ struct EngineStats
     sim::Counter naksReceived;
     sim::Counter notificationsPosted;
     sim::Counter timeouts;
+    /** Vectored meta-instructions issued (batches, not sub-ops). */
+    sim::Counter vectorsIssued;
+    /** Sub-ops carried by issued vectored meta-instructions. */
+    sim::Counter vectorSubOps;
+    /** Vectored requests served (batches). */
+    sim::Counter vectorServed;
+    /** Sub-ops executed on the serving side. */
+    sim::Counter vectorSubOpsServed;
+    /** Coalesced doorbells posted (one per channel per served batch). */
+    sim::Counter vectorDoorbells;
+    /** Serving-side validations elided by the per-batch cache. */
+    sim::Counter vectorValidateHits;
 };
 
 /**
@@ -100,6 +114,8 @@ struct EngineMetrics
     OpPhaseStats write;
     OpPhaseStats read;
     OpPhaseStats cas;
+    /** Vectored meta-instructions (whole-batch latency). */
+    OpPhaseStats vector;
 };
 
 /** Per-node remote-memory kernel layer. */
@@ -215,6 +231,40 @@ class RmemEngine
                               sim::Duration timeout = 0);
 
     // ------------------------------------------------------------------
+    // Vectored meta-instructions (initiator side)
+    // ------------------------------------------------------------------
+
+    /**
+     * Issue a pre-assembled batch as ONE vectored meta-instruction:
+     * one trap + header + validation charge plus a small marginal cost
+     * per sub-op, one wire message, and (for READ/CAS batches) one
+     * response frame. Upper layers normally assemble the batch through
+     * BatchBuilder, which performs the import-side checks at add time.
+     *
+     * Pure-write batches complete locally like scalar write(); target-
+     * side failures arrive as NAKs. Batches carrying a READ or CAS
+     * resolve when the response has been deposited, with per-sub-op
+     * statuses in VectorOutcome::results.
+     *
+     * @param batch Sub-ops for one target node plus local deposit
+     *        coordinates (parallel arrays).
+     * @param timeout Zero = wait forever (response-carrying batches).
+     */
+    sim::Task<VectorOutcome> issueVector(VectorBatch batch,
+                                         sim::Duration timeout = 0);
+
+    /** Vectored WRITE: all ops in one frame, local completion. */
+    sim::Task<util::Status> writev(std::vector<BatchBuilder::Write> ops);
+
+    /** Vectored READ: one request, one response, N deposits. */
+    sim::Task<VectorOutcome> readv(std::vector<BatchBuilder::Read> ops,
+                                   sim::Duration timeout = 0);
+
+    /** Vectored CAS: one request, one response, N result words. */
+    sim::Task<VectorOutcome> casv(std::vector<BatchBuilder::Cas> ops,
+                                  sim::Duration timeout = 0);
+
+    // ------------------------------------------------------------------
     // Introspection
     // ------------------------------------------------------------------
 
@@ -262,6 +312,24 @@ class RmemEngine
         sim::Promise<CasOutcome> done;
         sim::EventId timeoutEvent = 0;
     };
+    /** Resolved local landing spot of one READ/CAS sub-op. */
+    struct VectorDeposit
+    {
+        bool active = false;
+        VecOpKind kind = VecOpKind::kWrite;
+        mem::Pid pid = 0;
+        mem::Vaddr va = 0;
+        bool notify = false;
+        SegmentId dstSeg = 0;
+    };
+    struct PendingVector
+    {
+        std::vector<VectorDeposit> deposits;
+        sim::Promise<VectorOutcome> done;
+        sim::EventId timeoutEvent = 0;
+    };
+    /** Shared progress of one served vectored request (engine.cc). */
+    struct VectorServeState;
 
     /** Dispatch for incoming remote-memory messages. */
     void onMessage(net::NodeId src, Message &&msg);
@@ -269,9 +337,22 @@ class RmemEngine
     void serveWrite(net::NodeId src, WriteReq &&req);
     void serveRead(net::NodeId src, ReadReq &&req);
     void serveCas(net::NodeId src, CasReq &&req);
+    void serveVector(net::NodeId src, VectorReq &&req);
     void completeRead(net::NodeId src, ReadResp &&resp);
     void completeCas(net::NodeId src, CasResp &&resp);
+    void completeVector(net::NodeId src, VectorResp &&resp);
     void handleNak(net::NodeId src, const Nak &nak);
+
+    /** Stage 1 of a served vector: per-batch validation + dispatch. */
+    void executeVector(const std::shared_ptr<VectorServeState> &st,
+                       VectorReq &&req);
+
+    /** Stage 2: one sub-op's translation, copy, and notify queueing. */
+    void executeVectorSubOp(const std::shared_ptr<VectorServeState> &st,
+                            size_t index, VectorSubOp &&sub);
+
+    /** Last sub-op done: coalesced doorbells + response + span close. */
+    void finishVector(const std::shared_ptr<VectorServeState> &st);
 
     /** Send a NAK for a rejected request. */
     void sendNak(net::NodeId dst, ReqId reqId, util::ErrorCode error,
@@ -305,6 +386,7 @@ class RmemEngine
     DescriptorTable table_;
     std::unordered_map<ReqId, PendingRead> pendingReads_;
     std::unordered_map<ReqId, PendingCas> pendingCas_;
+    std::unordered_map<ReqId, PendingVector> pendingVectors_;
     ReqId nextReqId_ = 1;
     EngineStats stats_;
     EngineMetrics metrics_;

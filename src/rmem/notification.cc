@@ -148,6 +148,67 @@ NotificationChannel::post(const Notification &n)
 }
 
 void
+NotificationChannel::postBatch(std::span<const Notification> batch)
+{
+    if (batch.empty()) {
+        return;
+    }
+    if (batch.size() == 1) {
+        // Degenerate batch: identical to a scalar post (same cost, same
+        // digest), so callers can batch unconditionally.
+        post(batch.front());
+        return;
+    }
+    uint64_t ambientOp = obs::TraceRecorder::currentOp();
+    std::vector<Notification> recs(batch.begin(), batch.end());
+    for (Notification &rec : recs) {
+        if (rec.traceOp == 0) {
+            rec.traceOp = ambientOp;
+        }
+    }
+    delivered_ += recs.size();
+    if (RaceDetector::on()) {
+        // One release covers the whole batch: everything the posting
+        // actor did before the doorbell — including every sub-op store
+        // the records announce — happens-before each consumption.
+        auto &det = RaceDetector::instance();
+        det.releaseToken(this, det.currentActor(raceOwner_));
+    }
+    sim::Simulator::HintScope hintScope(simulator(),
+                                        sim::DepHint::channel(wgId_));
+    if (signalHandler_) {
+        // ONE dispatch cost for the batch, then the upcall per record.
+        cpu_.post(costs_.notifyDispatchCost,
+                  sim::CpuCategory::kControlTransfer,
+                  [this, recs = std::move(recs)] {
+                      if (RaceDetector::on()) {
+                          RaceDetector::instance().acquireToken(this,
+                                                                raceOwner_);
+                      }
+                      for (const Notification &rec : recs) {
+                          obs::OpScope opScope(rec.traceOp);
+                          if (obs::TraceRecorder::on() &&
+                              !traceNode_.empty()) {
+                              obs::TraceRecorder::instance().instant(
+                                  traceNode_, "notify", "notify_deliver",
+                                  "kind=signal batch=" +
+                                      std::to_string(recs.size()));
+                          }
+                          signalHandler_(rec);
+                      }
+                  });
+        return;
+    }
+    for (const Notification &rec : recs) {
+        queue_.push_back(rec);
+        waitGraph().channelPosted(wgId_);
+    }
+    // One doorbell: wakeConsumers charges a single notifyDispatchCost
+    // no matter how many records just became readable.
+    wakeConsumers();
+}
+
+void
 NotificationChannel::watchOnce(std::function<void()> watcher)
 {
     if (readable()) {

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -108,6 +109,16 @@ class NotificationChannel
      * request warrants control transfer). Charges the dispatch cost.
      */
     void post(const Notification &n);
+
+    /**
+     * Deliver several notifications behind ONE doorbell: every record
+     * is queued (or handed to the signal handler) individually, but the
+     * scheduler wakeup / select dispatch — the notifyDispatchCost — is
+     * charged once for the whole batch. This is the control-transfer
+     * coalescing of a vectored meta-instruction: N notify bits on the
+     * same channel cost one context-switch pair, not N.
+     */
+    void postBatch(std::span<const Notification> batch);
 
     /**
      * Register a readability watcher (used by ChannelSelector).

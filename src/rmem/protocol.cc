@@ -62,6 +62,14 @@ messageType(const Message &msg)
         MsgType operator()(const CasResp &) const { return MsgType::kCasResp; }
         MsgType operator()(const Nak &) const { return MsgType::kNak; }
         MsgType operator()(const RpcMsg &) const { return MsgType::kRpc; }
+        MsgType operator()(const VectorReq &) const
+        {
+            return MsgType::kVectorOp;
+        }
+        MsgType operator()(const VectorResp &) const
+        {
+            return MsgType::kVectorResp;
+        }
     };
     return std::visit(Visitor{}, msg);
 }
@@ -86,6 +94,10 @@ msgTypeName(MsgType type)
         return "nak";
       case MsgType::kRpc:
         return "rpc";
+      case MsgType::kVectorOp:
+        return "vector_op";
+      case MsgType::kVectorResp:
+        return "vector_resp";
     }
     return "unknown";
 }
@@ -173,6 +185,59 @@ encodeMessage(const Message &msg)
         w.putU32(m.xid);
         w.putU32(static_cast<uint32_t>(m.body.size()));
         w.putBytes(m.body);
+        break;
+      }
+      case MsgType::kVectorOp: {
+        const auto &m = std::get<VectorReq>(msg);
+        REMORA_ASSERT(!m.ops.empty() && m.ops.size() <= kMaxVectorOps);
+        REMORA_ASSERT(encodedVectorSize(m) <= kBlockDataMax);
+        w.putU8(firstOctet(MsgType::kVectorOp, false));
+        w.putU16(m.reqId);
+        w.putU8(static_cast<uint8_t>(m.ops.size()));
+        for (const VectorSubOp &op : m.ops) {
+            w.putU8(static_cast<uint8_t>(
+                static_cast<uint8_t>(op.kind) | (op.notify ? 0x80 : 0)));
+            w.putU8(op.descriptor);
+            w.putU16(op.generation);
+            w.putU32(op.offset);
+            switch (op.kind) {
+              case VecOpKind::kWrite:
+                w.putU16(static_cast<uint16_t>(op.data.size()));
+                w.putBytes(op.data);
+                break;
+              case VecOpKind::kRead:
+                w.putU16(op.count);
+                break;
+              case VecOpKind::kCas:
+                w.putU32(op.oldValue);
+                w.putU32(op.newValue);
+                break;
+            }
+        }
+        break;
+      }
+      case MsgType::kVectorResp: {
+        const auto &m = std::get<VectorResp>(msg);
+        REMORA_ASSERT(m.results.size() <= kMaxVectorOps);
+        w.putU8(firstOctet(MsgType::kVectorResp, false));
+        w.putU16(m.reqId);
+        w.putU8(static_cast<uint8_t>(m.results.size()));
+        for (const VectorSubResult &res : m.results) {
+            w.putU8(static_cast<uint8_t>(res.status));
+            w.putU8(static_cast<uint8_t>(
+                static_cast<uint8_t>(res.kind) | (res.success ? 0x80 : 0)));
+            switch (res.kind) {
+              case VecOpKind::kWrite:
+                break;
+              case VecOpKind::kRead:
+                w.putU16(static_cast<uint16_t>(res.data.size()));
+                w.putBytes(res.data);
+                break;
+              case VecOpKind::kCas:
+                w.putU32(res.observed);
+                break;
+            }
+        }
         break;
       }
     }
@@ -297,6 +362,90 @@ decodeBody(util::ByteReader &r)
             return malformed();
         }
         m.body.assign(data.begin(), data.end());
+        return Message(std::move(m));
+      }
+      case MsgType::kVectorOp: {
+        VectorReq m;
+        m.reqId = r.getU16();
+        uint8_t opCount = r.getU8();
+        if (!r.ok() || opCount == 0 || opCount > kMaxVectorOps) {
+            return malformed();
+        }
+        m.ops.reserve(opCount);
+        for (uint8_t i = 0; i < opCount; ++i) {
+            VectorSubOp op;
+            uint8_t kindByte = r.getU8();
+            if (r.ok() && (kindByte & 0x03) > 2) {
+                return malformed();
+            }
+            op.kind = static_cast<VecOpKind>(kindByte & 0x03);
+            op.notify = (kindByte & 0x80) != 0;
+            op.descriptor = r.getU8();
+            op.generation = r.getU16();
+            op.offset = r.getU32();
+            switch (op.kind) {
+              case VecOpKind::kWrite: {
+                uint16_t len = r.getU16();
+                auto data = r.viewBytes(len);
+                if (!r.ok()) {
+                    return malformed();
+                }
+                op.data.assign(data.begin(), data.end());
+                break;
+              }
+              case VecOpKind::kRead:
+                op.count = r.getU16();
+                break;
+              case VecOpKind::kCas:
+                op.oldValue = r.getU32();
+                op.newValue = r.getU32();
+                break;
+            }
+            if (!r.ok()) {
+                return malformed();
+            }
+            m.ops.push_back(std::move(op));
+        }
+        return Message(std::move(m));
+      }
+      case MsgType::kVectorResp: {
+        VectorResp m;
+        m.reqId = r.getU16();
+        uint8_t resultCount = r.getU8();
+        if (!r.ok() || resultCount > kMaxVectorOps) {
+            return malformed();
+        }
+        m.results.reserve(resultCount);
+        for (uint8_t i = 0; i < resultCount; ++i) {
+            VectorSubResult res;
+            res.status = static_cast<util::ErrorCode>(r.getU8());
+            uint8_t kindByte = r.getU8();
+            if (r.ok() && (kindByte & 0x03) > 2) {
+                return malformed();
+            }
+            res.kind = static_cast<VecOpKind>(kindByte & 0x03);
+            res.success = (kindByte & 0x80) != 0;
+            switch (res.kind) {
+              case VecOpKind::kWrite:
+                break;
+              case VecOpKind::kRead: {
+                uint16_t len = r.getU16();
+                auto data = r.viewBytes(len);
+                if (!r.ok()) {
+                    return malformed();
+                }
+                res.data.assign(data.begin(), data.end());
+                break;
+              }
+              case VecOpKind::kCas:
+                res.observed = r.getU32();
+                break;
+            }
+            if (!r.ok()) {
+                return malformed();
+            }
+            m.results.push_back(std::move(res));
+        }
         return Message(std::move(m));
       }
     }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "rmem/segment.h"
+#include "rmem/vector_op.h"
 #include "util/status.h"
 
 namespace remora::rmem {
@@ -41,6 +42,8 @@ enum class MsgType : uint8_t
     kCasResp = 6,
     kNak = 7,
     kRpc = 8,
+    kVectorOp = 9,
+    kVectorResp = 10,
 };
 
 /** Maximum data bytes in a single-cell (small) write. */
@@ -125,7 +128,7 @@ struct RpcMsg
 
 /** Any wire message. */
 using Message = std::variant<WriteReq, ReadReq, ReadResp, CasReq, CasResp,
-                             Nak, RpcMsg>;
+                             Nak, RpcMsg, VectorReq, VectorResp>;
 
 /** The discriminator a Message encodes as. */
 MsgType messageType(const Message &msg);

@@ -1,0 +1,288 @@
+#include "rmem/vector_op.h"
+
+#include <utility>
+
+#include "rmem/descriptor.h"
+#include "rmem/engine.h"
+#include "rmem/protocol.h"
+
+namespace remora::rmem {
+
+namespace {
+
+/** Wire bytes of one encoded sub-op (8-byte common header + tail). */
+size_t
+subOpWireBytes(const VectorSubOp &op)
+{
+    switch (op.kind) {
+      case VecOpKind::kWrite:
+        return 8 + 2 + op.data.size();
+      case VecOpKind::kRead:
+        return 8 + 2;
+      case VecOpKind::kCas:
+        return 8 + 8;
+    }
+    return 8;
+}
+
+/** Worst-case response bytes one sub-op contributes. */
+size_t
+subOpRespBytes(const VectorSubOp &op)
+{
+    switch (op.kind) {
+      case VecOpKind::kWrite:
+        return 2;
+      case VecOpKind::kRead:
+        return 2 + 2 + op.count;
+      case VecOpKind::kCas:
+        return 2 + 5;
+    }
+    return 2;
+}
+
+/** The (slot, generation, rights-needed) validation key of a sub-op. */
+uint32_t
+validationKey(const VectorSubOp &op)
+{
+    return static_cast<uint32_t>(op.descriptor) |
+           (static_cast<uint32_t>(op.generation) << 8) |
+           (static_cast<uint32_t>(vecOpRights(op.kind)) << 24);
+}
+
+} // namespace
+
+Rights
+vecOpRights(VecOpKind kind)
+{
+    switch (kind) {
+      case VecOpKind::kWrite:
+        return Rights::kWrite;
+      case VecOpKind::kRead:
+        return Rights::kRead;
+      case VecOpKind::kCas:
+        return Rights::kCas;
+    }
+    return Rights::kNone;
+}
+
+size_t
+encodedVectorSize(const VectorReq &req)
+{
+    size_t bytes = 4; // first octet + reqId + opCount
+    for (const VectorSubOp &op : req.ops) {
+        bytes += subOpWireBytes(op);
+    }
+    return bytes;
+}
+
+size_t
+encodedVectorRespSize(const VectorReq &req)
+{
+    size_t bytes = 4;
+    for (const VectorSubOp &op : req.ops) {
+        bytes += subOpRespBytes(op);
+    }
+    return bytes;
+}
+
+// ----------------------------------------------------------------------
+// ValidationCache
+// ----------------------------------------------------------------------
+
+util::Result<SegmentDescriptor *>
+ValidationCache::validate(SegmentId id, Generation generation,
+                          uint64_t offset, uint64_t count, Rights needed)
+{
+    uint32_t key = static_cast<uint32_t>(id) |
+                   (static_cast<uint32_t>(generation) << 8) |
+                   (static_cast<uint32_t>(needed) << 24);
+    auto it = seen_.find(key);
+    if (it != seen_.end()) {
+        ++hits_;
+    } else {
+        ++misses_;
+    }
+    // The walk always runs for semantics (bounds, write-inhibit, and
+    // revocation are per-sub-op concerns); the hit/miss split drives
+    // the engine's validateCost accounting only.
+    auto v = table_.validate(id, generation, offset, count, needed);
+    if (it == seen_.end()) {
+        seen_.emplace(key, v.ok() ? v.value() : nullptr);
+    }
+    return v;
+}
+
+size_t
+distinctValidationKeys(const std::vector<VectorSubOp> &ops)
+{
+    // Tiny batches: a quadratic scan beats hashing and allocates nothing.
+    size_t distinct = 0;
+    for (size_t i = 0; i < ops.size(); ++i) {
+        uint32_t key = validationKey(ops[i]);
+        bool seen = false;
+        for (size_t j = 0; j < i && !seen; ++j) {
+            seen = (validationKey(ops[j]) == key);
+        }
+        if (!seen) {
+            ++distinct;
+        }
+    }
+    return distinct;
+}
+
+// ----------------------------------------------------------------------
+// BatchBuilder
+// ----------------------------------------------------------------------
+
+util::Status
+BatchBuilder::admit(const ImportedSegment &seg, size_t opBytes,
+                    size_t respBytes)
+{
+    if (batch_.ops.size() >= kMaxVectorOps) {
+        return util::Status(util::ErrorCode::kResource, "vector batch full");
+    }
+    if (haveTarget_ && seg.node != batch_.target) {
+        return util::Status(util::ErrorCode::kInvalidArgument,
+                            "vector batch spans target nodes");
+    }
+    if (wireBytes() + opBytes > kBlockDataMax) {
+        return util::Status(util::ErrorCode::kResource,
+                            "vector batch exceeds frame budget");
+    }
+    if (respBytes_ + respBytes > kBlockDataMax) {
+        return util::Status(util::ErrorCode::kResource,
+                            "vector response exceeds frame budget");
+    }
+    return {};
+}
+
+util::Status
+BatchBuilder::addWrite(Write op)
+{
+    if (!hasRights(op.dst.rights, Rights::kWrite)) {
+        return util::Status(util::ErrorCode::kAccessDenied,
+                            "import lacks write right");
+    }
+    if (static_cast<uint64_t>(op.offset) + op.data.size() > op.dst.size) {
+        return util::Status(util::ErrorCode::kOutOfBounds,
+                            "write outside imported segment");
+    }
+    VectorSubOp sub;
+    sub.kind = VecOpKind::kWrite;
+    sub.descriptor = op.dst.descriptor;
+    sub.generation = op.dst.generation;
+    sub.offset = op.offset;
+    sub.notify = op.notify;
+    sub.data = std::move(op.data);
+    util::Status ok = admit(op.dst, subOpWireBytes(sub), subOpRespBytes(sub));
+    if (!ok.ok()) {
+        return ok;
+    }
+    batch_.target = op.dst.node;
+    haveTarget_ = true;
+    respBytes_ += subOpRespBytes(sub);
+    batch_.ops.push_back(std::move(sub));
+    batch_.local.push_back(VectorLocalDeposit{});
+    return {};
+}
+
+util::Status
+BatchBuilder::addRead(Read op)
+{
+    if (!hasRights(op.src.rights, Rights::kRead)) {
+        return util::Status(util::ErrorCode::kAccessDenied,
+                            "import lacks read right");
+    }
+    if (static_cast<uint64_t>(op.srcOff) + op.count > op.src.size) {
+        return util::Status(util::ErrorCode::kOutOfBounds,
+                            "read outside imported segment");
+    }
+    VectorSubOp sub;
+    sub.kind = VecOpKind::kRead;
+    sub.descriptor = op.src.descriptor;
+    sub.generation = op.src.generation;
+    sub.offset = op.srcOff;
+    sub.notify = op.notify;
+    sub.count = op.count;
+    util::Status ok = admit(op.src, subOpWireBytes(sub), subOpRespBytes(sub));
+    if (!ok.ok()) {
+        return ok;
+    }
+    batch_.target = op.src.node;
+    haveTarget_ = true;
+    respBytes_ += subOpRespBytes(sub);
+    batch_.ops.push_back(std::move(sub));
+    batch_.local.push_back(
+        VectorLocalDeposit{true, op.dstSeg, op.dstOff, op.notify});
+    return {};
+}
+
+util::Status
+BatchBuilder::addCas(Cas op)
+{
+    if (!hasRights(op.dst.rights, Rights::kCas)) {
+        return util::Status(util::ErrorCode::kAccessDenied,
+                            "import lacks CAS right");
+    }
+    if (op.offset % 4 != 0 ||
+        static_cast<uint64_t>(op.offset) + 4 > op.dst.size) {
+        return util::Status(util::ErrorCode::kOutOfBounds,
+                            "CAS target invalid");
+    }
+    VectorSubOp sub;
+    sub.kind = VecOpKind::kCas;
+    sub.descriptor = op.dst.descriptor;
+    sub.generation = op.dst.generation;
+    sub.offset = op.offset;
+    sub.oldValue = op.oldValue;
+    sub.newValue = op.newValue;
+    util::Status ok = admit(op.dst, subOpWireBytes(sub), subOpRespBytes(sub));
+    if (!ok.ok()) {
+        return ok;
+    }
+    batch_.target = op.dst.node;
+    haveTarget_ = true;
+    respBytes_ += subOpRespBytes(sub);
+    batch_.ops.push_back(std::move(sub));
+    batch_.local.push_back(
+        VectorLocalDeposit{true, op.resultSeg, op.resultOff, false});
+    return {};
+}
+
+bool
+BatchBuilder::wantsResponse() const
+{
+    for (const VectorSubOp &op : batch_.ops) {
+        if (op.kind != VecOpKind::kWrite) {
+            return true;
+        }
+    }
+    return false;
+}
+
+size_t
+BatchBuilder::wireBytes() const
+{
+    size_t bytes = 4;
+    for (const VectorSubOp &op : batch_.ops) {
+        bytes += subOpWireBytes(op);
+    }
+    return bytes;
+}
+
+sim::Task<VectorOutcome>
+BatchBuilder::issue(sim::Duration timeout)
+{
+    if (batch_.ops.empty()) {
+        co_return VectorOutcome{util::Status(), {}};
+    }
+    VectorBatch batch = std::move(batch_);
+    batch_ = VectorBatch{};
+    haveTarget_ = false;
+    respBytes_ = 0;
+    VectorOutcome out =
+        co_await engine_.issueVector(std::move(batch), timeout);
+    co_return out;
+}
+
+} // namespace remora::rmem

@@ -53,13 +53,11 @@ Wire::send(net::NodeId dst, const Message &msg, sim::CpuCategory category,
     perCell += raw ? costs_.cryptoCost(bytes.size())
                    : costs_.cryptoCost(net::Cell::kPayloadBytes);
     // Heterogeneity (§3.6): byte-swap folded into the PIO loop when the
-    // destination has the opposite byte order.
-    if (peerByteSwapped(dst)) {
-        size_t words =
-            (raw ? bytes.size() : net::Cell::kPayloadBytes + 3) / 4;
-        perCell += static_cast<sim::Duration>(words) *
-                   costs_.byteSwapWordCost;
-    }
+    // destination has the opposite byte order. Only message-payload
+    // words are swapped — the AAL5 trailer and pad of the final cell
+    // are order-neutral — so the charge is per payload word of the
+    // frame, applied below cell by cell.
+    bool swap = peerByteSwapped(dst);
 
     // Span covering header format + per-cell PIO until the last cell
     // enters the TX FIFO (the "accepted by the network" point).
@@ -80,7 +78,22 @@ Wire::send(net::NodeId dst, const Message &msg, sim::CpuCategory category,
         // Each cell enters the TX FIFO as its PIO completes, so the wire
         // overlaps with the CPU filling subsequent cells.
         bool last = (i + 1 == cells.size());
-        cpu.post(perCell, category,
+        sim::Duration cellCost = perCell;
+        if (swap) {
+            // Message bytes this cell actually carries (the tail cell
+            // may be mostly trailer/pad). Summed over the frame this is
+            // exactly ceil(bytes/4) swapped words, charged once.
+            size_t start = i * net::Cell::kPayloadBytes;
+            size_t in = raw ? bytes.size()
+                            : (start < bytes.size()
+                                   ? std::min<size_t>(
+                                         net::Cell::kPayloadBytes,
+                                         bytes.size() - start)
+                                   : 0);
+            cellCost += static_cast<sim::Duration>((in + 3) / 4) *
+                        costs_.byteSwapWordCost;
+        }
+        cpu.post(cellCost, category,
                  [this, cell = cells[i], last, accepted, txSpan]() mutable {
                      if (!node_.nic().txSpace()) {
                          // The pass-through TX FIFO cannot back up in this
@@ -153,16 +166,13 @@ Wire::drainLoop()
             msgsReceived_.inc();
             route(cell->vci, decoded.take(), cell->traceOp);
         } else {
-            // Memory-bound block path: whole cells, word at a time.
+            // Memory-bound block path: whole cells, word at a time. The
+            // byte-swap is NOT charged here — pad and trailer words are
+            // order-neutral, so the swap bills once per message-payload
+            // word after reassembly, below.
             sim::Duration drainCost =
                 costs_.blockCellPioCost() +
                 costs_.cryptoCost(net::Cell::kPayloadBytes);
-            if (peerByteSwapped(cell->vci)) {
-                drainCost +=
-                    static_cast<sim::Duration>(net::Cell::kPayloadBytes /
-                                               4) *
-                    costs_.byteSwapWordCost;
-            }
             obs::SpanId cellSpan = obs::kNoSpan;
             if (obs::TraceRecorder::on() && cell->traceOp != 0) {
                 cellSpan = obs::TraceRecorder::instance().beginSpanFor(
@@ -172,10 +182,28 @@ Wire::drainLoop()
             co_await cpu.use(drainCost, sim::CpuCategory::kDataReceive);
             obs::TraceRecorder::instance().endSpan(cellSpan);
             if (auto frame = reassembler_.feed(*cell)) {
-                auto decoded = decodeMessage(frame->payload);
+                size_t consumed = 0;
+                auto decoded = decodeMessage(frame->payload, &consumed);
                 if (!decoded.ok()) {
                     decodeErrors_.inc();
                     continue;
+                }
+                if (peerByteSwapped(frame->srcVci)) {
+                    // One swap pass over the message's payload words —
+                    // same total the sender charged on its way out.
+                    obs::SpanId swapSpan = obs::kNoSpan;
+                    if (obs::TraceRecorder::on() && frame->traceOp != 0) {
+                        swapSpan =
+                            obs::TraceRecorder::instance().beginSpanFor(
+                                frame->traceOp, node_.name(), "net",
+                                "rx_swap_pio",
+                                "bytes=" + std::to_string(consumed));
+                    }
+                    co_await cpu.use(
+                        static_cast<sim::Duration>((consumed + 3) / 4) *
+                            costs_.byteSwapWordCost,
+                        sim::CpuCategory::kDataReceive);
+                    obs::TraceRecorder::instance().endSpan(swapSpan);
                 }
                 msgsReceived_.inc();
                 route(frame->srcVci, decoded.take(), frame->traceOp);

@@ -130,17 +130,28 @@ Hybrid1Server::serveOne(net::NodeId src, uint32_t slot, uint64_t traceOp)
     reply.size = replySize;
     reply.rights = rmem::Rights::kWrite;
 
-    util::ByteWriter w(kRespHeader + results.size());
+    util::ByteWriter w(kRespHeader);
     w.putU32(seq);
     w.putU32(0); // status ok
     w.putU32(static_cast<uint32_t>(results.size()));
-    w.putBytes(results);
-    // engine_.write starts eagerly, so its asyncBegin runs while the
+    // Scatter the return as ONE vectored WRITE: the result bytes land
+    // at their final offset and the header lands at 0, in that order —
+    // the serving CPU's FIFO keeps the seq word (the reply's release
+    // point) last, so the client's spin-read never acquires a header
+    // over missing result bytes. No marshal into a contiguous staging
+    // buffer, and both stores ride one frame and one server trap.
+    std::vector<rmem::BatchBuilder::Write> subs;
+    if (!results.empty()) {
+        subs.push_back(rmem::BatchBuilder::Write{
+            reply, kRespHeader, std::move(results), false});
+    }
+    subs.push_back(rmem::BatchBuilder::Write{reply, 0, w.take(), false});
+    // engine_.writev starts eagerly, so its asyncBegin runs while the
     // scope is live and records this request's op as its parent; the
     // scope is dropped before suspending on the result.
     std::optional<obs::OpScope> parentScope;
     parentScope.emplace(traceOp);
-    auto writeTask = engine_.write(reply, 0, w.take(), false);
+    auto writeTask = engine_.writev(std::move(subs));
     parentScope.reset();
     util::Status ws = co_await writeTask;
     REMORA_ASSERT(ws.ok());

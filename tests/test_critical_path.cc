@@ -351,6 +351,51 @@ TEST(BenchDiff, PerMetricToleranceOverrides)
     EXPECT_TRUE(result.pass()) << result.render();
 }
 
+TEST(BenchDiff, DirectedMetricPassesImprovementFailsRegression)
+{
+    // latency is "lower is better": a 20% drop is a win the gate must
+    // let through, while the same move up stays a failure.
+    obs::BenchDiffOptions opts;
+    opts.directions["op.latency_us"] = -1;
+    auto faster = obs::diffReportText(reportJson(100.0), reportJson(80.0),
+                                      opts);
+    EXPECT_TRUE(faster.pass()) << faster.render();
+    auto slower = obs::diffReportText(reportJson(100.0), reportJson(120.0),
+                                      opts);
+    EXPECT_FALSE(slower.pass());
+    ASSERT_EQ(slower.entries.size(), 2u);
+    EXPECT_EQ(slower.entries[0].direction, -1);
+    EXPECT_NE(slower.render().find("lower is better"), std::string::npos);
+}
+
+TEST(BenchDiff, HigherIsBetterFailsOnlyOnDrop)
+{
+    // Throughput marked "up": the two-sided rule would flag a 20% gain;
+    // the direction hint keeps it green and reserves failure for drops.
+    std::string base = reportJson(100.0);
+    obs::BenchReport up("synthetic");
+    up.metric("op.latency_us", 100.0, "us");
+    up.metric("op.throughput_mbps", 144.0, "Mb/s");
+    up.check("shape_holds", true);
+    obs::BenchReport down("synthetic");
+    down.metric("op.latency_us", 100.0, "us");
+    down.metric("op.throughput_mbps", 96.0, "Mb/s");
+    down.check("shape_holds", true);
+
+    obs::BenchDiffOptions opts;
+    opts.directions["op.throughput_mbps"] = 1;
+    EXPECT_TRUE(obs::diffReportText(base, up.toJson(), opts).pass());
+    EXPECT_FALSE(obs::diffReportText(base, down.toJson(), opts).pass());
+
+    // Within-tolerance drop still passes: direction narrows which side
+    // fails, it does not tighten the tolerance itself.
+    obs::BenchReport dip("synthetic");
+    dip.metric("op.latency_us", 100.0, "us");
+    dip.metric("op.throughput_mbps", 116.0, "Mb/s");
+    dip.check("shape_holds", true);
+    EXPECT_TRUE(obs::diffReportText(base, dip.toJson(), opts).pass());
+}
+
 TEST(BenchDiff, MissingMetricIsStructuralFailure)
 {
     obs::BenchReport cand("synthetic");

@@ -424,6 +424,8 @@ TEST(LintPolicy, EveryRuleHasAStableName)
                  "remora-detached-coroutine");
     EXPECT_TRUE(ruleIsError(Rule::kDetachedCoroutine));
     EXPECT_FALSE(ruleIsError(Rule::kDetachedCoroutineDetach));
+    EXPECT_STREQ(ruleName(Rule::kScalarOpLoop), "remora-scalar-op-loop");
+    EXPECT_FALSE(ruleIsError(Rule::kScalarOpLoop));
 }
 
 // ----------------------------------------------------------------------
@@ -691,6 +693,120 @@ TEST(LintDetached, RuleCanBeDisabledPerFile)
                                 detachedFixture("    ping(sim);\n"), o),
                      Rule::kDetachedCoroutine)
                     .empty());
+}
+
+// ----------------------------------------------------------------------
+// Scalar engine ops awaited inside loops (advisory)
+// ----------------------------------------------------------------------
+
+TEST(LintScalarLoop, AwaitedWritePerIterationIsAdvised)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<util::Status> flush(rmem::RmemEngine *engine)
+{
+    for (const Block &b : blocks_) {
+        auto st = co_await engine->write(seg_, b.offset, b.bytes);
+        if (!st.ok()) {
+            co_return st;
+        }
+    }
+    co_return util::Status();
+}
+)cc";
+    auto f = only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                  Rule::kScalarOpLoop);
+    ASSERT_EQ(f.size(), 1u);
+    EXPECT_FALSE(ruleIsError(f[0].rule));
+    EXPECT_NE(f[0].message.find("writev()"), std::string::npos);
+}
+
+TEST(LintScalarLoop, AwaitedReadInWhileLoopSuggestsReadv)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> drain(rmem::RmemEngine &engine)
+{
+    while (more()) {
+        co_await engine.read(seg_, next(), scratch_, 0, 64);
+    }
+}
+)cc";
+    auto f = only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                  Rule::kScalarOpLoop);
+    ASSERT_EQ(f.size(), 1u);
+    EXPECT_NE(f[0].message.find("readv()"), std::string::npos);
+}
+
+TEST(LintScalarLoop, CleanShapesAreNotFlagged)
+{
+    // Vectored ops, un-awaited local space writes, and scalar awaits
+    // outside any loop are all fine.
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> ok(rmem::RmemEngine &engine, mem::Process &proc)
+{
+    for (auto &b : blocks_) {
+        proc.space().write(b.va, b.bytes);
+    }
+    for (auto &w : windows_) {
+        co_await engine.readv(w.ops, timeout_);
+    }
+    co_await engine.write(seg_, 0, tail_);
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kScalarOpLoop)
+                    .empty());
+}
+
+TEST(LintScalarLoop, NestedLoopsReportEachAwaitOnce)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> nested(rmem::RmemEngine *e)
+{
+    for (int i = 0; i < n_; ++i) {
+        for (int j = 0; j < m_; ++j) {
+            co_await e->write(seg_, j, row_);
+        }
+    }
+}
+)cc";
+    EXPECT_EQ(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                   Rule::kScalarOpLoop)
+                  .size(),
+              1u);
+}
+
+TEST(LintScalarLoop, NolintSuppressesAndRuleCanBeDisabled)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> pinned(rmem::RmemEngine *e)
+{
+    for (auto &b : blocks_) {
+        // NOLINTNEXTLINE(remora-scalar-op-loop)
+        co_await e->write(seg_, b.off, b.bytes);
+    }
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kScalarOpLoop)
+                    .empty());
+
+    constexpr std::string_view kBare = R"cc(
+sim::Task<void> bare(rmem::RmemEngine *e)
+{
+    while (spin()) {
+        co_await e->read(seg_, 0, scratch_, 0, 4);
+    }
+}
+)cc";
+    Options o = coroutineOnly();
+    o.checkScalarOpLoops = false;
+    EXPECT_TRUE(only(lintSource("fixture.cc", kBare, o),
+                     Rule::kScalarOpLoop)
+                    .empty());
+    EXPECT_EQ(only(lintSource("fixture.cc", kBare, coroutineOnly()),
+                   Rule::kScalarOpLoop)
+                  .size(),
+              1u);
 }
 
 TEST(LintPolicy, HazardsInsideCommentsAndStringsAreIgnored)

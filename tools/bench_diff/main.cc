@@ -7,6 +7,10 @@
  *       --tol PCT          default two-sided tolerance (default 5)
  *       --tol-metric N=PCT per-metric override (repeatable; N is the
  *                          full dotted metric name)
+ *       --dir-metric N=D   per-metric direction hint (repeatable; D is
+ *                          "up" for higher-is-better or "down" for
+ *                          lower-is-better — the metric then fails
+ *                          only on moves in the bad direction)
  *       --only NAME        compare only BENCH_<NAME>.json
  *
  * Every BENCH_*.json in the baseline directory must exist in the
@@ -50,7 +54,8 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: bench_diff [--tol PCT] [--tol-metric NAME=PCT]... "
-                 "[--only NAME] <baseline_dir> <candidate_dir>\n");
+                 "[--dir-metric NAME=up|down]... [--only NAME] "
+                 "<baseline_dir> <candidate_dir>\n");
     return 2;
 }
 
@@ -74,6 +79,18 @@ main(int argc, char **argv)
             }
             opts.tolerances[arg.substr(0, eq)] =
                 std::atof(arg.c_str() + eq + 1);
+        } else if (std::strcmp(argv[i], "--dir-metric") == 0 &&
+                   i + 1 < argc) {
+            std::string arg = argv[++i];
+            size_t eq = arg.find('=');
+            if (eq == std::string::npos) {
+                return usage();
+            }
+            std::string dir = arg.substr(eq + 1);
+            if (dir != "up" && dir != "down") {
+                return usage();
+            }
+            opts.directions[arg.substr(0, eq)] = dir == "up" ? 1 : -1;
         } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
             only = argv[++i];
         } else if (argv[i][0] == '-') {

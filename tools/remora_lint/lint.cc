@@ -913,6 +913,89 @@ checkDetachedCoroutines(std::string_view path, const Scrubbed &s,
     }
 }
 
+/**
+ * The scalar-op-in-loop pass (kScalarOpLoop, advisory).
+ *
+ * A `co_await <obj>.write(...)` / `<obj>->read(...)` inside a `for` or
+ * `while` body pays one trap + validation + wire frame per iteration;
+ * when the iterations target the same node, a vectored
+ * `writev()`/`readv()` batch pays them once. Only awaited calls are
+ * considered — synchronous `space().write(...)` local-memory accesses
+ * return a plain Status and never match. Each await site is reported
+ * once even when loops nest.
+ */
+void
+checkScalarOpLoops(std::string_view path, const Scrubbed &s,
+                   const std::vector<Token> &toks, std::vector<Finding> &out)
+{
+    std::set<size_t> reported; // token index of the co_await
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!toks[i].ident() ||
+            (!toks[i].is("for") && !toks[i].is("while")) ||
+            !toks[i + 1].is("(")) {
+            continue;
+        }
+        // Match the loop header's closing ')'.
+        int paren = 0;
+        size_t k = i + 1;
+        for (; k < toks.size(); ++k) {
+            if (toks[k].is("(")) {
+                ++paren;
+            } else if (toks[k].is(")") && --paren == 0) {
+                break;
+            }
+        }
+        if (k + 1 >= toks.size()) {
+            continue;
+        }
+        // Body span: braced block, or single statement up to ';'.
+        size_t body = k + 1;
+        size_t bodyEnd = body;
+        if (toks[body].is("{")) {
+            int brace = 0;
+            for (; bodyEnd < toks.size(); ++bodyEnd) {
+                if (toks[bodyEnd].is("{")) {
+                    ++brace;
+                } else if (toks[bodyEnd].is("}") && --brace == 0) {
+                    break;
+                }
+            }
+        } else {
+            while (bodyEnd < toks.size() && !toks[bodyEnd].is(";")) {
+                ++bodyEnd;
+            }
+        }
+        for (size_t t = body; t < bodyEnd; ++t) {
+            if (!toks[t].is("co_await") || reported.count(t) != 0) {
+                continue;
+            }
+            // Scan the awaited expression (up to the statement end) for
+            // a member call of write( or read(.
+            for (size_t u = t + 1; u + 2 < bodyEnd; ++u) {
+                if (toks[u].is(";")) {
+                    break;
+                }
+                if ((toks[u].is(".") || toks[u].is("->")) &&
+                    toks[u + 1].ident() &&
+                    (toks[u + 1].is("write") || toks[u + 1].is("read")) &&
+                    toks[u + 2].is("(")) {
+                    bool isWrite = toks[u + 1].is("write");
+                    reported.insert(t);
+                    addFinding(out, s, Rule::kScalarOpLoop, path,
+                               toks[t].line,
+                               std::string("scalar ") + toks[u + 1].text +
+                                   "() awaited inside a loop: each "
+                                   "iteration pays a full trap and frame; "
+                                   "consider batching with " +
+                                   (isWrite ? "writev()" : "readv()") +
+                                   " (advisory)");
+                    break;
+                }
+            }
+        }
+    }
+}
+
 } // namespace
 
 // ----------------------------------------------------------------------
@@ -932,6 +1015,8 @@ ruleName(Rule rule)
     case Rule::kDetachedCoroutine:
     case Rule::kDetachedCoroutineDetach:
         return "remora-detached-coroutine";
+    case Rule::kScalarOpLoop:
+        return "remora-scalar-op-loop";
     case Rule::kNondeterminism:
         return "remora-nondeterminism";
     case Rule::kIncludeHygiene:
@@ -944,7 +1029,8 @@ bool
 ruleIsError(Rule rule)
 {
     return rule != Rule::kCoroutinePtrParam &&
-           rule != Rule::kDetachedCoroutineDetach;
+           rule != Rule::kDetachedCoroutineDetach &&
+           rule != Rule::kScalarOpLoop;
 }
 
 std::string
@@ -975,6 +1061,9 @@ lintSource(std::string_view path, std::string_view text, const Options &opts)
     }
     if (opts.checkDetachedCoroutines) {
         checkDetachedCoroutines(path, s, toks, out);
+    }
+    if (opts.checkScalarOpLoops) {
+        checkScalarOpLoops(path, s, toks, out);
     }
     std::sort(out.begin(), out.end(),
               [](const Finding &a, const Finding &b) {

@@ -72,6 +72,13 @@ enum class Rule
      * form.
      */
     kDetachedCoroutineDetach,
+    /**
+     * A scalar engine `write()`/`read()` awaited inside a loop body:
+     * every iteration pays a full trap, validation, and frame, where a
+     * single vectored `writev()`/`readv()` batch would pay them once
+     * (advisory).
+     */
+    kScalarOpLoop,
     /** Banned wall-clock / platform-randomness source (error). */
     kNondeterminism,
     /** Relative or unprefixed project include (error). */
@@ -114,6 +121,8 @@ struct Options
     bool checkRefCaptures = true;
     /** Check for discarded / silently-detached coroutine starts. */
     bool checkDetachedCoroutines = true;
+    /** Check for scalar awaited write()/read() calls inside loops. */
+    bool checkScalarOpLoops = true;
     /** Check for banned nondeterminism sources. */
     bool checkNondeterminism = true;
     /** Check include style. */

@@ -154,6 +154,37 @@ notifyWorkload(sim::Simulator &s)
     REMORA_ASSERT(w2.done() && w2.result().ok());
 }
 
+/**
+ * Two racing vectored writes, each carrying notify sub-ops that
+ * coalesce behind one doorbell, against a blocking channel reader.
+ * Every interleaving must deliver all four records (no lost wakeup
+ * from the batched post) and ring exactly one doorbell per batch.
+ */
+void
+vectorNotifyWorkload(sim::Simulator &s)
+{
+    World w(s, 3);
+    auto seg = w.exportOn(0, "mc.vector", 4096,
+                          rmem::NotifyPolicy::kConditional);
+    rmem::NotificationChannel *ch = w.engines[0]->channel(seg.descriptor);
+    REMORA_ASSERT(ch != nullptr);
+    auto reader = notifyReader(ch, 4);
+    auto makeBatch = [&seg](uint32_t base) {
+        std::vector<rmem::BatchBuilder::Write> ops;
+        ops.push_back({seg, base, {1, 2, 3}, true});
+        ops.push_back({seg, base + 64, {4, 5, 6}, true});
+        return ops;
+    };
+    auto w1 = w.engines[1]->writev(makeBatch(0));
+    auto w2 = w.engines[2]->writev(makeBatch(256));
+    s.run();
+    REMORA_ASSERT(reader.done());
+    REMORA_ASSERT(w1.done() && w1.result().ok());
+    REMORA_ASSERT(w2.done() && w2.result().ok());
+    REMORA_ASSERT(w.engines[0]->stats().vectorDoorbells.value() == 2);
+    REMORA_ASSERT(w.engines[0]->stats().notificationsPosted.value() == 4);
+}
+
 /** Two nodes contending one remote spin-lock word. */
 void
 syncWorkload(sim::Simulator &s)
@@ -274,6 +305,7 @@ registry()
     static const std::vector<WorkloadEntry> r = {
         {"rpc", rpcWorkload, false},
         {"notify", notifyWorkload, false},
+        {"vector-notify", vectorNotifyWorkload, false},
         {"sync", syncWorkload, false},
         {"dfs-token", dfsTokenWorkload, false},
         {"deadlock", deadlockWorkload, true},

@@ -8,11 +8,15 @@
  * per-op-kind critical-path breakdown — where each operation's wall
  * time went between software, the wire, the controller, and queueing.
  *
- *     remora_prof [--iters N] [--json] [--trace FILE]
+ *     remora_prof [--iters N] [--probe] [--json] [--trace FILE]
  *
  * --json swaps the table for the analyzer's machine-readable dump;
  * --trace additionally writes the raw Chrome trace_event recording for
  * chrome://tracing / ui.perfetto.dev (the same DAG, arrows and all).
+ * --probe swaps the mixed workload for the name-service probe shape:
+ * each iteration reads four directory slots one scalar read() at a
+ * time, then again as a single readv() batch, so the `read` and
+ * `vector` rows attribute exactly where batching reclaims time.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -62,8 +66,39 @@ workload(rmem::RmemEngine *client, rmem::ImportedSegment server,
     }
 }
 
+/**
+ * The clerk-probe shape: four 64-byte directory slots fetched first as
+ * four awaited scalar reads (one trap, frame, response, and interrupt
+ * each), then as one readv() batch (all four in a request/response
+ * pair). The analyzer's `read` row is the scalar side, `vector` the
+ * batched side.
+ */
+sim::Task<void>
+probeWorkload(rmem::RmemEngine *client, rmem::ImportedSegment server,
+              rmem::SegmentId scratch, int iters)
+{
+    constexpr uint32_t kSlots = 4;
+    constexpr uint32_t kSlotBytes = 64;
+    for (int i = 0; i < iters; ++i) {
+        for (uint32_t s = 0; s < kSlots; ++s) {
+            // NOLINTNEXTLINE(remora-scalar-op-loop): the scalar
+            // baseline this profile exists to attribute.
+            auto ro = co_await client->read(server, s * kSlotBytes, scratch,
+                                            s * kSlotBytes, kSlotBytes);
+            REMORA_ASSERT(ro.status.ok());
+        }
+        std::vector<rmem::BatchBuilder::Read> ops;
+        for (uint32_t s = 0; s < kSlots; ++s) {
+            ops.push_back({server, s * kSlotBytes, scratch,
+                           s * kSlotBytes, kSlotBytes, false});
+        }
+        auto vo = co_await client->readv(std::move(ops));
+        REMORA_ASSERT(vo.status.ok());
+    }
+}
+
 int
-run(int iters, bool json, const char *tracePath)
+run(int iters, bool probe, bool json, const char *tracePath)
 {
     sim::Simulator sim;
     net::Network network(sim, net::LinkParams{});
@@ -116,9 +151,11 @@ run(int iters, bool json, const char *tracePath)
     auto &rec = obs::TraceRecorder::instance();
     rec.enable(sim);
 
-    auto task = workload(&clientEng, exported.value(),
-                         scratch.value().descriptor, &clientRpc, &hyClient,
-                         iters);
+    auto task = probe ? probeWorkload(&clientEng, exported.value(),
+                                      scratch.value().descriptor, iters)
+                      : workload(&clientEng, exported.value(),
+                                 scratch.value().descriptor, &clientRpc,
+                                 &hyClient, iters);
     sim.run();
     REMORA_ASSERT(task.done());
     rec.disable();
@@ -152,21 +189,24 @@ int
 main(int argc, char **argv)
 {
     int iters = 8;
+    bool probe = false;
     bool json = false;
     const char *tracePath = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
             json = true;
+        } else if (std::strcmp(argv[i], "--probe") == 0) {
+            probe = true;
         } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
             iters = std::atoi(argv[++i]);
         } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             tracePath = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "usage: remora_prof [--iters N] [--json] "
+                         "usage: remora_prof [--iters N] [--probe] [--json] "
                          "[--trace FILE]\n");
             return 2;
         }
     }
-    return remora::run(iters, json, tracePath);
+    return remora::run(iters, probe, json, tracePath);
 }
