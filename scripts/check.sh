@@ -3,7 +3,7 @@
 # Tier-1 verification and correctness gates.
 #
 #   scripts/check.sh            # RelWithDebInfo build + full test suite
-#   scripts/check.sh --lint     # + remora-lint over src/ and tests/
+#   scripts/check.sh --lint     # + remora-lint over src/, tests/, tools/, bench/
 #   scripts/check.sh --tidy     # + clang-tidy profile (.clang-tidy)
 #   scripts/check.sh --format   # + clang-format dry run (.clang-format)
 #   scripts/check.sh --asan     # + ASan/UBSan suite in build-asan/
@@ -77,9 +77,14 @@ GATES_RUN+=("build+tests")
 
 if [[ "${DO_LINT}" == 1 ]]; then
     echo
-    echo "== lint: remora-lint over src/ and tests/ =="
+    echo "== lint: remora-lint over src/, tests/, tools/, bench/ =="
+    # Everything lintable, including the drivers and benches (with the
+    # relaxed per-path profile optionsForPath() gives them), plus the
+    # flow rules and the include-layer check over the src/ DAG. The
+    # one-line summary carries the flow-finding and layer-violation
+    # counts the gate acts on.
     cmake --build build -j "${JOBS}" --target remora_lint
-    ./build/tools/remora_lint/remora_lint --root . src tests
+    ./build/tools/remora_lint/remora_lint --root . src tests tools bench
     GATES_RUN+=("lint")
 fi
 
@@ -186,9 +191,17 @@ if [[ "${DO_BENCH}" == 1 ]]; then
     # so mark it higher-is-better. The vectored-ops speedup ratios get
     # the same treatment: a batch getting even faster than baseline is
     # a win to fold in at the next refresh, not a gate failure.
+    # The linter's tree pass is wall-clock over a tree that grows with
+    # every PR: its throughput rates get the same wide berth as the
+    # explorer rate. Its corpus.findings count is deterministic and
+    # stays at the default tolerance.
     ./build/tools/bench_diff/bench_diff --tol 5 \
         --tol-metric explore.schedules_per_sec=90 \
+        --tol-metric tree.files_per_sec=90 \
+        --tol-metric corpus.files_per_sec=90 \
         --dir-metric explore.schedules_per_sec=up \
+        --dir-metric tree.files_per_sec=up \
+        --dir-metric corpus.files_per_sec=up \
         --dir-metric write_x4.latency_speedup=up \
         --dir-metric write_x8.latency_speedup=up \
         --dir-metric write_x16.latency_speedup=up \

@@ -181,8 +181,12 @@ NameClerk::import(std::string name, std::optional<net::NodeId> hint,
         // 2. The import cache.
         if (auto it = importCache_.find(name); it != importCache_.end()) {
             stats_.cacheHits.inc();
+            // Convert before suspending: a resolve() racing on another
+            // coroutine inserts into importCache_ (rehash), which
+            // invalidates this iterator.
+            rmem::ImportedSegment handle = it->second.record.toHandle();
             co_await lrpc_.returnToCaller();
-            co_return it->second.record.toHandle();
+            co_return handle;
         }
     }
 
@@ -428,7 +432,10 @@ NameClerk::probeRemote(net::NodeId node, std::string name,
         co_return util::Status(util::ErrorCode::kInvalidArgument,
                                "unknown peer node");
     }
-    const Peer &peer = it->second;
+    // A copy, not a reference: the readv suspensions below let other
+    // coroutines add peers, and an unordered_map rehash would leave a
+    // reference dangling.
+    const Peer peer = it->second;
     auto &cpu = engine_.node().cpu();
 
     uint64_t wanted = NameRecord::nameHashOf(name);

@@ -146,10 +146,14 @@ RpcTransport::serve(net::NodeId src, uint32_t xid, std::vector<uint8_t> body)
         reply.putU32(kStatusBadProc);
         reply.putOpaque({});
     } else {
+        // Copy the handler out of procs_ before suspending: a
+        // registerProc() during the awaited dispatch cost can rehash
+        // the map and invalidate the iterator.
+        Handler handler = it->second;
         // Stub invocation overhead around the handler body.
         co_await cpu.use(costs_.procInvoke, sim::CpuCategory::kProcInvoke);
         std::vector<uint8_t> results =
-            co_await it->second(src, std::move(args));
+            co_await handler(src, std::move(args));
         reply.putU32(kStatusOk);
         reply.putOpaque(results);
     }

@@ -8,9 +8,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "layers.h"
 #include "lint.h"
 
 namespace remora::lint {
@@ -817,6 +820,678 @@ TEST(LintPolicy, HazardsInsideCommentsAndStringsAreIgnored)
 const char *doc = "call std::rand() and time(nullptr) here";
 )cc";
     EXPECT_TRUE(lintSource("fixture.cc", kFixture).empty());
+}
+
+// ----------------------------------------------------------------------
+// Flow rule: remora-lock-across-suspension
+// ----------------------------------------------------------------------
+
+TEST(LintLockAcross, SecondSpinningAcquireWhileHeldIsError)
+{
+    // The two-lock deadlock shape: spinning on b while a is may-held.
+    // Another coroutine acquiring in the opposite order never releases,
+    // and the spin loop burns simulated CPU forever.
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> worker(rmem::SpinLock *a, rmem::SpinLock *b)
+{
+    co_await a->acquire();
+    co_await b->acquire();
+    co_await b->release();
+    co_await a->release();
+}
+)cc";
+    auto findings = only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                         Rule::kLockAcrossSuspension);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_TRUE(ruleIsError(findings[0].rule));
+    EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(LintLockAcross, AwaitedWorkUnderAwaitedLockIsClean)
+{
+    // The tree's core idiom: acquire, do awaited work, release. Only a
+    // *spinning acquire of a different lock* (or a host guard) across
+    // the suspension is hazardous, not the suspension itself.
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> critical(rmem::SpinLock *l, sim::Simulator *s)
+{
+    co_await l->acquire();
+    co_await sim::delay(*s, sim::usec(10));
+    co_await l->release();
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kLockAcrossSuspension)
+                    .empty());
+}
+
+TEST(LintLockAcross, TryAcquireIsNeverTheOffender)
+{
+    // tryAcquire yields once and gives up; it cannot spin forever, so
+    // awaiting it while another lock is held is not a deadlock shape.
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> opportunistic(rmem::SpinLock *a, rmem::SpinLock *b)
+{
+    co_await a->acquire();
+    co_await b->tryAcquire();
+    co_await b->release();
+    co_await a->release();
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kLockAcrossSuspension)
+                    .empty());
+}
+
+TEST(LintLockAcross, ReacquireAfterReleaseIsClean)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> phased(rmem::SpinLock *l)
+{
+    co_await l->acquire();
+    bump();
+    co_await l->release();
+    co_await l->acquire();
+    co_await l->release();
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kLockAcrossSuspension)
+                    .empty());
+}
+
+TEST(LintLockAcross, HostGuardHeldAtAnySuspensionIsError)
+{
+    // A host std::lock_guard blocks the OS thread, so *any* co_await
+    // under it parks the whole simulator with the mutex held.
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> guarded(std::mutex *m, Widget *w)
+{
+    std::lock_guard<std::mutex> g(*m);
+    co_await w->refresh();
+}
+)cc";
+    auto findings = only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                         Rule::kLockAcrossSuspension);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(LintLockAcross, GuardReleasedByScopeExitIsClean)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> scoped(std::mutex *m, Widget *w)
+{
+    {
+        std::lock_guard<std::mutex> g(*m);
+        w->bump();
+    }
+    co_await w->refresh();
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kLockAcrossSuspension)
+                    .empty());
+}
+
+TEST(LintLockAcross, NolintOnSuspensionLineSuppresses)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> ordered(rmem::SpinLock *a, rmem::SpinLock *b)
+{
+    co_await a->acquire();
+    co_await b->acquire(); // NOLINT(remora-lock-across-suspension)
+    co_await b->release();
+    co_await a->release();
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kLockAcrossSuspension)
+                    .empty());
+}
+
+TEST(LintLockAcross, NolintOnAcquireLineAlsoSuppresses)
+{
+    // Suppression is honoured at the finding line AND at the origin
+    // acquire line: whichever line carries the justification wins.
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> ordered(rmem::SpinLock *a, rmem::SpinLock *b)
+{
+    co_await a->acquire(); // NOLINT(remora-lock-across-suspension)
+    co_await b->acquire();
+    co_await b->release();
+    co_await a->release();
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kLockAcrossSuspension)
+                    .empty());
+}
+
+TEST(LintLockAcross, NolintNextLineAboveMultiLineCallSuppresses)
+{
+    // NOLINTNEXTLINE targets the first line of the statement even when
+    // the call's argument list spills onto following lines.
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> ordered(rmem::SpinLock *a, rmem::SpinLock *b)
+{
+    co_await a->acquire();
+    // NOLINTNEXTLINE(remora-lock-across-suspension)
+    co_await b->acquire(
+        kSpinBudget);
+    co_await b->release();
+    co_await a->release();
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kLockAcrossSuspension)
+                    .empty());
+}
+
+// ----------------------------------------------------------------------
+// Flow rule: remora-use-after-suspension
+// ----------------------------------------------------------------------
+
+TEST(LintUseAfter, IteratorIntoMemberMapUsedAcrossSuspensionIsError)
+{
+    // The PR 7 bug shape: during the co_await another coroutine inserts
+    // into table_, the map rehashes, and it-> walks freed memory.
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> Server::handle(uint32_t key)
+{
+    auto it = table_.find(key);
+    co_await cpu_.use(kCost);
+    it->second.touch();
+}
+)cc";
+    auto findings = only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                         Rule::kUseAfterSuspension);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_TRUE(ruleIsError(findings[0].rule));
+    EXPECT_EQ(findings[0].line, 6);
+}
+
+TEST(LintUseAfter, ReferenceDerivedFromIteratorIsTrackedTransitively)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> Server::poke(uint32_t key)
+{
+    auto it = peers_.find(key);
+    const Peer &peer = it->second;
+    co_await cpu_.use(kCost);
+    peer.touch();
+}
+)cc";
+    auto findings = only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                         Rule::kUseAfterSuspension);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 7);
+}
+
+TEST(LintUseAfter, CopyingTheValueBeforeSuspensionIsClean)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> Server::handleCopy(uint32_t key)
+{
+    auto it = table_.find(key);
+    Entry e = it->second;
+    co_await cpu_.use(kCost);
+    e.touch();
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kUseAfterSuspension)
+                    .empty());
+}
+
+TEST(LintUseAfter, RebindingAfterSuspensionIsClean)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> Server::handleRebind(uint32_t key)
+{
+    auto it = table_.find(key);
+    co_await cpu_.use(kCost);
+    it = table_.find(key);
+    it->second.touch();
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kUseAfterSuspension)
+                    .empty());
+}
+
+TEST(LintUseAfter, IteratorIntoLocalContainerIsClean)
+{
+    // Only borrows from external state (members, underscore-suffixed
+    // chains) can be invalidated by other coroutines; locals cannot.
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> Server::handleLocal(uint32_t key)
+{
+    std::map<int, int> local;
+    auto it = local.find(key);
+    co_await cpu_.use(kCost);
+    it->second = 1;
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kUseAfterSuspension)
+                    .empty());
+}
+
+TEST(LintUseAfter, LoopBackEdgeCarriesStalenessIntoNextIteration)
+{
+    // The use textually precedes the co_await, but the loop back edge
+    // delivers the post-suspension state to iteration two.
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> Server::retry(uint32_t key)
+{
+    auto it = table_.find(key);
+    for (int i = 0; i < 3; ++i) {
+        it->second.bump();
+        co_await cpu_.use(kCost);
+    }
+}
+)cc";
+    auto findings = only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                         Rule::kUseAfterSuspension);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 6);
+}
+
+TEST(LintUseAfter, NolintOnUseOrBindLineSuppresses)
+{
+    constexpr std::string_view kAtUse = R"cc(
+sim::Task<void> Server::handle(uint32_t key)
+{
+    auto it = table_.find(key);
+    co_await cpu_.use(kCost);
+    it->second.touch(); // NOLINT(remora-use-after-suspension)
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kAtUse, coroutineOnly()),
+                     Rule::kUseAfterSuspension)
+                    .empty());
+
+    constexpr std::string_view kAtBind = R"cc(
+sim::Task<void> Server::handle(uint32_t key)
+{
+    auto it = table_.find(key); // NOLINT(remora-use-after-suspension)
+    co_await cpu_.use(kCost);
+    it->second.touch();
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kAtBind, coroutineOnly()),
+                     Rule::kUseAfterSuspension)
+                    .empty());
+}
+
+// ----------------------------------------------------------------------
+// Flow rules and nested lambdas: each lambda is its own analysis unit
+// ----------------------------------------------------------------------
+
+TEST(LintFlowLambda, SuspensionInsideLambdaDoesNotStaleEnclosingBorrows)
+{
+    // The co_await lives in the nested coroutine's frame, not the
+    // enclosing function's: the enclosing borrow stays fresh.
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> Server::spawnChild(uint32_t key)
+{
+    auto it = table_.find(key);
+    auto child = [](Server *self) -> sim::Task<void> {
+        co_await self->cpu_.use(kCost);
+    };
+    child(this).detach();
+    it->second.touch();
+    co_return;
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kUseAfterSuspension)
+                    .empty());
+}
+
+TEST(LintFlowLambda, LambdaDoesNotSuppressEnclosingAnalysis)
+{
+    // The enclosing function's own hazard must still be found even
+    // though a lambda with its own suspension sits between bind and use.
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> Server::both(uint32_t key)
+{
+    auto it = table_.find(key);
+    auto logger = [](Server *self) -> sim::Task<void> {
+        co_await self->cpu_.use(kLogCost);
+    };
+    co_await cpu_.use(kCost);
+    it->second.touch();
+}
+)cc";
+    auto findings = only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                         Rule::kUseAfterSuspension);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 9);
+}
+
+TEST(LintFlowLambda, HazardInsideLambdaBodyIsStillFound)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> Server::spawnBad(uint32_t key)
+{
+    auto child = [](Server *self, uint32_t key) -> sim::Task<void> {
+        auto it = self->table_.find(key);
+        co_await self->cpu_.use(kCost);
+        it->second.touch();
+    };
+    child(this, key).detach();
+    co_return;
+}
+)cc";
+    auto findings = only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                         Rule::kUseAfterSuspension);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 7);
+}
+
+// ----------------------------------------------------------------------
+// Flow rule: remora-release-on-all-paths (advisory)
+// ----------------------------------------------------------------------
+
+TEST(LintReleasePaths, EarlyReturnSkippingReleaseIsAdvisory)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<util::Status> Server::withLock(bool fast)
+{
+    co_await lock_.acquire();
+    if (fast) {
+        co_return util::Status();
+    }
+    co_await lock_.release();
+    co_return util::Status();
+}
+)cc";
+    auto findings = only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                         Rule::kReleaseOnAllPaths);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_FALSE(ruleIsError(findings[0].rule));
+    // Reported at the acquire, where the fix (scope or release) goes.
+    EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintReleasePaths, ReleaseOnEveryPathIsClean)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<util::Status> Server::withLock(bool fast)
+{
+    co_await lock_.acquire();
+    if (fast) {
+        co_await lock_.release();
+        co_return util::Status();
+    }
+    co_await lock_.release();
+    co_return util::Status();
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kReleaseOnAllPaths)
+                    .empty());
+}
+
+TEST(LintReleasePaths, AcquireOnlyHelperIsSilent)
+{
+    // No release anywhere in the function: transferring ownership out is
+    // a deliberate design, not a leaked path.
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> Server::lockForCaller()
+{
+    co_await lock_.acquire();
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kReleaseOnAllPaths)
+                    .empty());
+}
+
+TEST(LintReleasePaths, BeginUseWithoutEndUseOnEveryPathIsAdvisory)
+{
+    // TokenClient pin windows follow the same obligation as locks.
+    constexpr std::string_view kFixture = R"cc(
+void Server::useWindow(uint64_t key, bool bail)
+{
+    client_.beginUse(key);
+    if (bail) {
+        return;
+    }
+    client_.endUse(key);
+}
+)cc";
+    auto findings = only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                         Rule::kReleaseOnAllPaths);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 4);
+}
+
+// ----------------------------------------------------------------------
+// Flow rule: remora-unchecked-vector-status (advisory)
+// ----------------------------------------------------------------------
+
+TEST(LintVectorStatus, ReadvWithOnlyStatusCheckedIsAdvisory)
+{
+    // readv sub-ops fail individually: .status alone says the batch was
+    // delivered, not that every sub-op succeeded.
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<util::Status> Server::flushMeta()
+{
+    auto outcome = co_await engine_.readv(makeOps(), timeout_);
+    if (!outcome.status.ok()) {
+        co_return outcome.status;
+    }
+    co_return util::Status();
+}
+)cc";
+    auto findings = only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                         Rule::kUncheckedVectorStatus);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_FALSE(ruleIsError(findings[0].rule));
+}
+
+TEST(LintVectorStatus, InspectingResultsIsClean)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> Server::gather()
+{
+    auto outcome = co_await engine_.readv(makeOps(), timeout_);
+    for (const auto &res : outcome.results) {
+        consume(res);
+    }
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kUncheckedVectorStatus)
+                    .empty());
+}
+
+TEST(LintVectorStatus, DiscardedAwaitedVectorCallIsAdvisory)
+{
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> Server::fireAndForget()
+{
+    co_await engine_.writev(makeOps(), timeout_);
+}
+)cc";
+    auto findings = only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                         Rule::kUncheckedVectorStatus);
+    ASSERT_EQ(findings.size(), 1u);
+}
+
+TEST(LintVectorStatus, ReturningTheWholeOutcomeEscapesTheObligation)
+{
+    // Forwarding wrappers hand the outcome to the caller, who inherits
+    // the inspection obligation.
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<rmem::VectorOutcome> Server::forward()
+{
+    auto out = co_await engine_.readv(makeOps(), timeout_);
+    co_return out;
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kUncheckedVectorStatus)
+                    .empty());
+}
+
+TEST(LintVectorStatus, WritevIsSatisfiedByStatusCheck)
+{
+    // writev has no per-sub-op payloads; its outcome is all in .status.
+    constexpr std::string_view kFixture = R"cc(
+sim::Task<void> Server::push()
+{
+    auto ws = co_await engine_.writev(makeOps(), timeout_);
+    REMORA_ASSERT(ws.status.ok());
+}
+)cc";
+    EXPECT_TRUE(only(lintSource("fixture.cc", kFixture, coroutineOnly()),
+                     Rule::kUncheckedVectorStatus)
+                    .empty());
+}
+
+// ----------------------------------------------------------------------
+// Include-layer checker
+// ----------------------------------------------------------------------
+
+using FileSet = std::vector<std::pair<std::string, std::string>>;
+
+TEST(LintLayers, DownwardAndSameModuleEdgesAreClean)
+{
+    FileSet files = {
+        {"src/util/assert.h", ""},
+        {"src/sim/task.h", "#include \"util/assert.h\"\n"},
+        {"src/sim/simulator.h",
+         "#include \"sim/task.h\"\n#include \"util/assert.h\"\n"},
+        {"src/rpc/transport.h",
+         "#include \"sim/task.h\"\n#include \"util/assert.h\"\n"},
+    };
+    EXPECT_TRUE(checkIncludeLayers(files).empty());
+}
+
+TEST(LintLayers, UpwardEdgeIsRejected)
+{
+    FileSet files = {
+        {"src/util/assert.h", ""},
+        {"src/util/bad.h", "#include \"rpc/transport.h\"\n"},
+        {"src/rpc/transport.h", "#include \"util/assert.h\"\n"},
+    };
+    auto findings = checkIncludeLayers(files);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, Rule::kIncludeLayer);
+    EXPECT_TRUE(ruleIsError(findings[0].rule));
+    EXPECT_EQ(findings[0].file, "src/util/bad.h");
+    EXPECT_EQ(findings[0].line, 1);
+    EXPECT_NE(findings[0].message.find("climbs"), std::string::npos);
+}
+
+TEST(LintLayers, EqualRankCrossModuleEdgeIsRejected)
+{
+    // names and dfs share a rank: neither may include the other, which
+    // keeps the two paper clients independently deletable.
+    FileSet files = {
+        {"src/names/clerk.h", "#include \"dfs/backend.h\"\n"},
+        {"src/dfs/backend.h", ""},
+    };
+    auto findings = checkIncludeLayers(files);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].file, "src/names/clerk.h");
+}
+
+TEST(LintLayers, IncludeCycleIsReportedOnce)
+{
+    FileSet files = {
+        {"src/sim/a.h", "#include \"sim/b.h\"\n"},
+        {"src/sim/b.h", "#include \"sim/a.h\"\n"},
+    };
+    auto findings = checkIncludeLayers(files);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].file, "src/sim/a.h");
+    EXPECT_NE(findings[0].message.find("cycle"), std::string::npos);
+}
+
+TEST(LintLayers, UnknownModuleIsRejected)
+{
+    FileSet files = {
+        {"src/sim/task.h", "#include \"frobnicator/core.h\"\n"},
+    };
+    auto findings = checkIncludeLayers(files);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("frobnicator"), std::string::npos);
+}
+
+TEST(LintLayers, NolintSuppressesALayerEdge)
+{
+    FileSet files = {
+        {"src/util/bridge.h",
+         "#include \"rpc/transport.h\" // NOLINT(remora-include-layer)\n"},
+        {"src/rpc/transport.h", ""},
+    };
+    EXPECT_TRUE(checkIncludeLayers(files).empty());
+}
+
+TEST(LintLayers, ApplicationLayerAndRelativeIncludesAreExempt)
+{
+    // tests/, tools/, bench/ sit above the whole diagram; relative
+    // includes are include-hygiene's problem, not a layer edge.
+    FileSet files = {
+        {"tests/test_all.cc",
+         "#include \"dfs/backend.h\"\n#include \"util/assert.h\"\n"},
+        {"tools/driver/main.cc", "#include \"trace/writer.h\"\n"},
+        {"src/sim/task.cc", "#include \"../util/assert.h\"\n"},
+        {"src/util/assert.h", ""},
+    };
+    EXPECT_TRUE(checkIncludeLayers(files).empty());
+}
+
+// ----------------------------------------------------------------------
+// Rule metadata and machine-readable output
+// ----------------------------------------------------------------------
+
+TEST(LintRules, EveryRuleHasNameSeverityAndDescription)
+{
+    for (Rule r : kAllRules) {
+        EXPECT_FALSE(std::string_view(ruleName(r)).empty());
+        EXPECT_FALSE(std::string_view(ruleDescription(r)).empty());
+    }
+    // The two detached-coroutine shapes share one user-facing name.
+    EXPECT_EQ(std::string_view(ruleName(Rule::kDetachedCoroutine)),
+              std::string_view(ruleName(Rule::kDetachedCoroutineDetach)));
+}
+
+TEST(LintRules, FlowRulesAreExactlyTheCfgBackedOnes)
+{
+    size_t flowCount = 0;
+    for (Rule r : kAllRules) {
+        flowCount += ruleIsFlow(r) ? 1u : 0u;
+    }
+    EXPECT_EQ(flowCount, 4u);
+    EXPECT_TRUE(ruleIsFlow(Rule::kLockAcrossSuspension));
+    EXPECT_TRUE(ruleIsFlow(Rule::kUseAfterSuspension));
+    EXPECT_TRUE(ruleIsFlow(Rule::kReleaseOnAllPaths));
+    EXPECT_TRUE(ruleIsFlow(Rule::kUncheckedVectorStatus));
+    EXPECT_FALSE(ruleIsFlow(Rule::kIncludeLayer));
+    EXPECT_FALSE(ruleIsFlow(Rule::kCoroutineRefParam));
+}
+
+TEST(LintJson, FindingsSerializeWithSeverityAndEscaping)
+{
+    std::vector<Finding> findings = {
+        {Rule::kNondeterminism, "src/a.cc", 3, "uses \"rand\""},
+        {Rule::kReleaseOnAllPaths, "src/b.cc", 9, "path\\skips release"},
+    };
+    std::string json = findingsToJson(findings);
+    EXPECT_NE(json.find("\"rule\":\"remora-nondeterminism\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos);
+    EXPECT_NE(json.find("\"severity\":\"advisory\""), std::string::npos);
+    EXPECT_NE(json.find("\"line\":3"), std::string::npos);
+    EXPECT_NE(json.find("uses \\\"rand\\\""), std::string::npos);
+    EXPECT_NE(json.find("path\\\\skips"), std::string::npos);
+    EXPECT_EQ(findingsToJson({}), "[]");
 }
 
 } // namespace

@@ -1,328 +1,26 @@
 #include "lint.h"
 
 #include <algorithm>
-#include <cctype>
 #include <map>
 #include <set>
 #include <sstream>
+
+#include "flow.h"
+#include "source_model.h"
 
 namespace remora::lint {
 
 namespace {
 
 // ----------------------------------------------------------------------
-// Rule metadata
-// ----------------------------------------------------------------------
-
-/** clang-tidy check names accepted as NOLINT aliases for each rule. */
-const char *const kRefParamAliases[] = {
-    "cppcoreguidelines-avoid-reference-coroutine-parameters",
-};
-const char *const kNondetAliases[] = {
-    "cert-msc50-cpp",
-    "cert-msc51-cpp",
-};
-const char *const kRefCaptureAliases[] = {
-    "cppcoreguidelines-avoid-capturing-lambda-coroutines",
-};
-const char *const kDetachedAliases[] = {
-    "bugprone-unused-return-value",
-};
-
-bool
-isIdentChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// ----------------------------------------------------------------------
-// Phase 1: scrub comments and string/char literals
-// ----------------------------------------------------------------------
-
-/**
- * Output of the scrubbing pass: source text with comment bodies and
- * string/char-literal contents blanked (same length, newlines kept) so
- * later passes never match inside them, plus the NOLINT suppressions
- * harvested from the comments. Include-path strings survive scrubbing
- * because the include rules need them.
- */
-struct Scrubbed
-{
-    std::string text;
-    /** line -> suppressed check names; empty set means "all checks". */
-    std::map<int, std::set<std::string>> lineSupp;
-};
-
-/** Parse one NOLINT/NOLINTNEXTLINE occurrence inside a comment. */
-void
-harvestNolint(std::string_view comment, int line, Scrubbed &out)
-{
-    size_t pos = 0;
-    while ((pos = comment.find("NOLINT", pos)) != std::string_view::npos) {
-        size_t cur = pos + 6;
-        int target = line;
-        if (comment.compare(pos, 14, "NOLINTNEXTLINE") == 0) {
-            cur = pos + 14;
-            target = line + 1;
-        }
-        std::set<std::string> checks; // empty == suppress everything
-        if (cur < comment.size() && comment[cur] == '(') {
-            size_t close = comment.find(')', cur);
-            if (close != std::string_view::npos) {
-                std::string list(comment.substr(cur + 1, close - cur - 1));
-                std::string item;
-                std::istringstream ss(list);
-                while (std::getline(ss, item, ',')) {
-                    item.erase(std::remove_if(item.begin(), item.end(),
-                                              [](char c) {
-                                                  return std::isspace(
-                                                      static_cast<
-                                                          unsigned char>(c));
-                                              }),
-                               item.end());
-                    if (!item.empty()) {
-                        checks.insert(item);
-                    }
-                }
-                cur = close + 1;
-            }
-        }
-        auto &slot = out.lineSupp[target];
-        if (checks.empty()) {
-            slot.clear();
-            slot.insert("*");
-        } else if (slot.find("*") == slot.end()) {
-            slot.insert(checks.begin(), checks.end());
-        }
-        pos = cur;
-    }
-}
-
-/** True when the text of @p line so far is just "#include" (plus space). */
-bool
-lineIsIncludeDirective(const std::string &text, size_t stringStart)
-{
-    size_t lineStart = text.rfind('\n', stringStart);
-    lineStart = lineStart == std::string::npos ? 0 : lineStart + 1;
-    std::string prefix = text.substr(lineStart, stringStart - lineStart);
-    prefix.erase(std::remove_if(prefix.begin(), prefix.end(),
-                                [](char c) {
-                                    return std::isspace(
-                                        static_cast<unsigned char>(c));
-                                }),
-                 prefix.end());
-    return prefix == "#include" || prefix == "#include_next";
-}
-
-Scrubbed
-scrub(std::string_view src)
-{
-    Scrubbed out;
-    out.text.assign(src.begin(), src.end());
-    std::string &t = out.text;
-    int line = 1;
-    size_t i = 0;
-    auto blank = [&t](size_t from, size_t to) {
-        for (size_t k = from; k < to && k < t.size(); ++k) {
-            if (t[k] != '\n') {
-                t[k] = ' ';
-            }
-        }
-    };
-    while (i < t.size()) {
-        char c = t[i];
-        if (c == '\n') {
-            ++line;
-            ++i;
-        } else if (c == '/' && i + 1 < t.size() && t[i + 1] == '/') {
-            size_t end = t.find('\n', i);
-            end = end == std::string::npos ? t.size() : end;
-            harvestNolint(std::string_view(t).substr(i, end - i), line, out);
-            blank(i, end);
-            i = end;
-        } else if (c == '/' && i + 1 < t.size() && t[i + 1] == '*') {
-            size_t end = t.find("*/", i + 2);
-            end = end == std::string::npos ? t.size() : end + 2;
-            // Block comments suppress relative to their starting line.
-            harvestNolint(std::string_view(t).substr(i, end - i), line, out);
-            for (size_t k = i; k < end; ++k) {
-                if (t[k] == '\n') {
-                    ++line;
-                }
-            }
-            blank(i, end);
-            i = end;
-        } else if (c == 'R' && i + 1 < t.size() && t[i + 1] == '"') {
-            // Raw string literal: R"delim( ... )delim".
-            size_t open = t.find('(', i + 2);
-            if (open == std::string::npos) {
-                ++i;
-                continue;
-            }
-            std::string delim = ")" + t.substr(i + 2, open - i - 2) + "\"";
-            size_t end = t.find(delim, open + 1);
-            end = end == std::string::npos ? t.size() : end + delim.size();
-            for (size_t k = i; k < end; ++k) {
-                if (t[k] == '\n') {
-                    ++line;
-                }
-            }
-            blank(i, end);
-            i = end;
-        } else if (c == '"') {
-            size_t start = i;
-            size_t j = i + 1;
-            while (j < t.size() && t[j] != '"' && t[j] != '\n') {
-                if (t[j] == '\\') {
-                    ++j;
-                }
-                ++j;
-            }
-            j = j < t.size() ? j + 1 : j;
-            if (!lineIsIncludeDirective(t, start)) {
-                blank(start + 1, j - 1);
-            }
-            i = j;
-        } else if (c == '\'') {
-            size_t j = i + 1;
-            while (j < t.size() && t[j] != '\'' && t[j] != '\n') {
-                if (t[j] == '\\') {
-                    ++j;
-                }
-                ++j;
-            }
-            j = j < t.size() ? j + 1 : j;
-            blank(i + 1, j - 1);
-            i = j;
-        } else {
-            ++i;
-        }
-    }
-    return out;
-}
-
-bool
-isSuppressed(const Scrubbed &s, int line, Rule rule)
-{
-    auto it = s.lineSupp.find(line);
-    if (it == s.lineSupp.end()) {
-        return false;
-    }
-    const std::set<std::string> &checks = it->second;
-    if (checks.count("*") != 0 || checks.count(ruleName(rule)) != 0) {
-        return true;
-    }
-    if (rule == Rule::kCoroutineRefParam ||
-        rule == Rule::kCoroutinePtrParam) {
-        for (const char *alias : kRefParamAliases) {
-            if (checks.count(alias) != 0) {
-                return true;
-            }
-        }
-    }
-    if (rule == Rule::kNondeterminism) {
-        for (const char *alias : kNondetAliases) {
-            if (checks.count(alias) != 0) {
-                return true;
-            }
-        }
-    }
-    if (rule == Rule::kRefCaptureDeferred) {
-        for (const char *alias : kRefCaptureAliases) {
-            if (checks.count(alias) != 0) {
-                return true;
-            }
-        }
-    }
-    if (rule == Rule::kDetachedCoroutine ||
-        rule == Rule::kDetachedCoroutineDetach) {
-        for (const char *alias : kDetachedAliases) {
-            if (checks.count(alias) != 0) {
-                return true;
-            }
-        }
-    }
-    return false;
-}
-
-// ----------------------------------------------------------------------
-// Phase 2: tokenize
-// ----------------------------------------------------------------------
-
-struct Token
-{
-    enum class Kind
-    {
-        kIdent,
-        kPunct,
-    };
-    Kind kind;
-    std::string text;
-    int line;
-
-    bool is(const char *s) const { return text == s; }
-    bool ident() const { return kind == Kind::kIdent; }
-};
-
-std::vector<Token>
-tokenize(const std::string &text)
-{
-    std::vector<Token> toks;
-    int line = 1;
-    size_t i = 0;
-    while (i < text.size()) {
-        char c = text[i];
-        if (c == '\n') {
-            ++line;
-            ++i;
-        } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-            ++i;
-        } else if (isIdentChar(c) &&
-                   std::isdigit(static_cast<unsigned char>(c)) == 0) {
-            size_t j = i;
-            while (j < text.size() && isIdentChar(text[j])) {
-                ++j;
-            }
-            toks.push_back({Token::Kind::kIdent, text.substr(i, j - i), line});
-            i = j;
-        } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-            // Numbers (incl. hex/suffixes) collapse to one token.
-            size_t j = i;
-            while (j < text.size() &&
-                   (isIdentChar(text[j]) || text[j] == '.' ||
-                    ((text[j] == '+' || text[j] == '-') && j > i &&
-                     (text[j - 1] == 'e' || text[j - 1] == 'E')))) {
-                ++j;
-            }
-            toks.push_back({Token::Kind::kIdent, text.substr(i, j - i), line});
-            i = j;
-        } else {
-            // Multi-char puncts that matter to the passes below; the
-            // rest lex as single characters.
-            static const char *const kCompound[] = {"::", "->", "<<", ">>"};
-            std::string tok(1, c);
-            for (const char *p : kCompound) {
-                if (text.compare(i, 2, p) == 0) {
-                    tok = p;
-                    break;
-                }
-            }
-            toks.push_back({Token::Kind::kPunct, tok, line});
-            i += tok.size();
-        }
-    }
-    return toks;
-}
-
-// ----------------------------------------------------------------------
-// Phase 3: rule passes
+// Line-local rule passes
 // ----------------------------------------------------------------------
 
 void
-addFinding(std::vector<Finding> &out, const Scrubbed &s, Rule rule,
+addFinding(std::vector<Finding> &out, const SourceModel &s, Rule rule,
            std::string_view path, int line, std::string msg)
 {
-    if (isSuppressed(s, line, rule)) {
+    if (suppressedAt(s, line, rule)) {
         return;
     }
     out.push_back(Finding{rule, std::string(path), line, std::move(msg)});
@@ -330,8 +28,8 @@ addFinding(std::vector<Finding> &out, const Scrubbed &s, Rule rule,
 
 /** Include-style checks, run on the scrubbed text line by line. */
 void
-checkIncludes(std::string_view path, const Scrubbed &s, const Options &opts,
-              std::vector<Finding> &out)
+checkIncludes(std::string_view path, const SourceModel &s,
+              const Options &opts, std::vector<Finding> &out)
 {
     std::istringstream ss(s.text);
     std::string rawLine;
@@ -374,7 +72,7 @@ checkIncludes(std::string_view path, const Scrubbed &s, const Options &opts,
 
 /** Banned-nondeterminism pass over the token stream. */
 void
-checkNondeterminism(std::string_view path, const Scrubbed &s,
+checkNondeterminism(std::string_view path, const SourceModel &s,
                     const std::vector<Token> &toks, const Options &opts,
                     std::vector<Finding> &out)
 {
@@ -514,7 +212,7 @@ scanParams(const std::vector<Token> &toks, size_t open, size_t *closeOut)
  * the closing '>' — are types, not coroutine declarations, and skipped.
  */
 void
-checkCoroutineParams(std::string_view path, const Scrubbed &s,
+checkCoroutineParams(std::string_view path, const SourceModel &s,
                      const std::vector<Token> &toks,
                      std::vector<Finding> &out)
 {
@@ -620,14 +318,14 @@ checkCoroutineParams(std::string_view path, const Scrubbed &s,
                           "the first suspension point"
                         : "references bind caller temporaries that die at "
                           "the first suspension point";
-                if (!isSuppressed(s, declLine, Rule::kCoroutineRefParam)) {
+                if (!suppressedAt(s, declLine, Rule::kCoroutineRefParam)) {
                     addFinding(out, s, Rule::kCoroutineRefParam, path, line,
                                "coroutine " + declName + " parameter '" +
                                    p.text + "' is not safe to suspend over: " +
                                    why + "; pass by value");
                 }
             } else if (p.topLevelPtr && !isLambda) {
-                if (!isSuppressed(s, declLine, Rule::kCoroutinePtrParam)) {
+                if (!suppressedAt(s, declLine, Rule::kCoroutinePtrParam)) {
                     addFinding(out, s, Rule::kCoroutinePtrParam, path, line,
                                "coroutine " + declName +
                                    " takes raw pointer '" + p.text +
@@ -706,7 +404,7 @@ refCaptureIn(const std::vector<Token> &toks, size_t open, size_t *closeOut)
  *    past the enclosing scope (the spawned-task case).
  */
 void
-checkRefCaptures(std::string_view path, const Scrubbed &s,
+checkRefCaptures(std::string_view path, const SourceModel &s,
                  const std::vector<Token> &toks, std::vector<Finding> &out)
 {
     // Shape 1: lambdas in schedule/scheduleAt argument lists.
@@ -810,7 +508,7 @@ checkRefCaptures(std::string_view path, const Scrubbed &s,
  *  - awaited, assigned, or passed as an argument                -> clean
  */
 void
-checkDetachedCoroutines(std::string_view path, const Scrubbed &s,
+checkDetachedCoroutines(std::string_view path, const SourceModel &s,
                         const std::vector<Token> &toks,
                         std::vector<Finding> &out)
 {
@@ -925,7 +623,7 @@ checkDetachedCoroutines(std::string_view path, const Scrubbed &s,
  * once even when loops nest.
  */
 void
-checkScalarOpLoops(std::string_view path, const Scrubbed &s,
+checkScalarOpLoops(std::string_view path, const SourceModel &s,
                    const std::vector<Token> &toks, std::vector<Finding> &out)
 {
     std::set<size_t> reported; // token index of the co_await
@@ -996,10 +694,51 @@ checkScalarOpLoops(std::string_view path, const Scrubbed &s,
     }
 }
 
+/** Minimal JSON string escaping (control chars, quotes, backslash). */
+std::string
+jsonEscape(std::string_view in)
+{
+    std::string out;
+    out.reserve(in.size() + 8);
+    for (char c : in) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
 } // namespace
 
 // ----------------------------------------------------------------------
-// Public interface
+// Rule metadata
+//
+// The switches below have no default case and no fallback return:
+// remora_lint_core builds with -Werror=switch -Werror=return-type, so
+// adding a Rule enumerator without wiring its name, severity, and
+// description here is a compile error.
 // ----------------------------------------------------------------------
 
 const char *
@@ -1021,16 +760,111 @@ ruleName(Rule rule)
         return "remora-nondeterminism";
     case Rule::kIncludeHygiene:
         return "remora-include-hygiene";
+    case Rule::kLockAcrossSuspension:
+        return "remora-lock-across-suspension";
+    case Rule::kUseAfterSuspension:
+        return "remora-use-after-suspension";
+    case Rule::kReleaseOnAllPaths:
+        return "remora-release-on-all-paths";
+    case Rule::kUncheckedVectorStatus:
+        return "remora-unchecked-vector-status";
+    case Rule::kIncludeLayer:
+        return "remora-include-layer";
     }
-    return "remora-unknown";
+    // Unreachable: the switch is exhaustive (-Werror=switch) and every
+    // case returns (-Werror=return-type).
+    __builtin_unreachable();
 }
 
 bool
 ruleIsError(Rule rule)
 {
-    return rule != Rule::kCoroutinePtrParam &&
-           rule != Rule::kDetachedCoroutineDetach &&
-           rule != Rule::kScalarOpLoop;
+    switch (rule) {
+    case Rule::kCoroutineRefParam:
+    case Rule::kRefCaptureDeferred:
+    case Rule::kDetachedCoroutine:
+    case Rule::kNondeterminism:
+    case Rule::kIncludeHygiene:
+    case Rule::kLockAcrossSuspension:
+    case Rule::kUseAfterSuspension:
+    case Rule::kIncludeLayer:
+        return true;
+    case Rule::kCoroutinePtrParam:
+    case Rule::kDetachedCoroutineDetach:
+    case Rule::kScalarOpLoop:
+    case Rule::kReleaseOnAllPaths:
+    case Rule::kUncheckedVectorStatus:
+        return false;
+    }
+    __builtin_unreachable();
+}
+
+const char *
+ruleDescription(Rule rule)
+{
+    switch (rule) {
+    case Rule::kCoroutineRefParam:
+        return "coroutine takes a reference/string_view parameter that "
+               "dangles at the first suspension point";
+    case Rule::kCoroutinePtrParam:
+        return "named coroutine takes a raw pointer; pointee must outlive "
+               "every suspension";
+    case Rule::kRefCaptureDeferred:
+        return "[&] capture on a deferred or coroutine lambda outlives its "
+               "scope";
+    case Rule::kDetachedCoroutine:
+        return "eager Task started and silently discarded; spell "
+               "fire-and-forget as .detach()";
+    case Rule::kDetachedCoroutineDetach:
+        return "sanctioned .detach() fire-and-forget site, kept auditable";
+    case Rule::kScalarOpLoop:
+        return "scalar write()/read() awaited per loop iteration; consider "
+               "writev()/readv() batching";
+    case Rule::kNondeterminism:
+        return "wall-clock or platform randomness breaks bit-identical "
+               "replay";
+    case Rule::kIncludeHygiene:
+        return "relative or module-prefix-less project include";
+    case Rule::kLockAcrossSuspension:
+        return "lock still held at a suspension that acquires another lock "
+               "(cross-order deadlock), or thread guard live at co_await";
+    case Rule::kUseAfterSuspension:
+        return "pointer/reference/view into borrowed state used after a "
+               "suspension point that may invalidate it";
+    case Rule::kReleaseOnAllPaths:
+        return "acquire/release or begin/end pair where an early-exit path "
+               "skips the release";
+    case Rule::kUncheckedVectorStatus:
+        return "vectored op result whose per-sub-op statuses are never "
+               "inspected";
+    case Rule::kIncludeLayer:
+        return "include edge climbs the module layer diagram upward, or "
+               "the include DAG has a cycle";
+    }
+    __builtin_unreachable();
+}
+
+bool
+ruleIsFlow(Rule rule)
+{
+    switch (rule) {
+    case Rule::kLockAcrossSuspension:
+    case Rule::kUseAfterSuspension:
+    case Rule::kReleaseOnAllPaths:
+    case Rule::kUncheckedVectorStatus:
+        return true;
+    case Rule::kCoroutineRefParam:
+    case Rule::kCoroutinePtrParam:
+    case Rule::kRefCaptureDeferred:
+    case Rule::kDetachedCoroutine:
+    case Rule::kDetachedCoroutineDetach:
+    case Rule::kScalarOpLoop:
+    case Rule::kNondeterminism:
+    case Rule::kIncludeHygiene:
+    case Rule::kIncludeLayer:
+        return false;
+    }
+    __builtin_unreachable();
 }
 
 std::string
@@ -1041,15 +875,37 @@ Finding::format() const
     return ss.str();
 }
 
+std::string
+findingsToJson(const std::vector<Finding> &findings)
+{
+    std::ostringstream ss;
+    ss << "[";
+    bool first = true;
+    for (const Finding &f : findings) {
+        ss << (first ? "" : ",") << "\n  {\"file\":\"" << jsonEscape(f.file)
+           << "\",\"line\":" << f.line << ",\"rule\":\"" << ruleName(f.rule)
+           << "\",\"severity\":\""
+           << (ruleIsError(f.rule) ? "error" : "advisory")
+           << "\",\"message\":\"" << jsonEscape(f.message) << "\"}";
+        first = false;
+    }
+    ss << (first ? "]" : "\n]");
+    return ss.str();
+}
+
+// ----------------------------------------------------------------------
+// Public interface
+// ----------------------------------------------------------------------
+
 std::vector<Finding>
 lintSource(std::string_view path, std::string_view text, const Options &opts)
 {
     std::vector<Finding> out;
-    Scrubbed s = scrub(text);
+    SourceModel s = buildSourceModel(text);
     if (opts.checkIncludes) {
         checkIncludes(path, s, opts, out);
     }
-    std::vector<Token> toks = tokenize(s.text);
+    const std::vector<Token> &toks = s.tokens;
     if (opts.checkNondeterminism) {
         checkNondeterminism(path, s, toks, opts, out);
     }
@@ -1065,6 +921,9 @@ lintSource(std::string_view path, std::string_view text, const Options &opts)
     if (opts.checkScalarOpLoops) {
         checkScalarOpLoops(path, s, toks, out);
     }
+    if (opts.checkFlowRules) {
+        checkFlowRules(path, s, opts, out);
+    }
     std::sort(out.begin(), out.end(),
               [](const Finding &a, const Finding &b) {
                   return a.line < b.line;
@@ -1078,12 +937,20 @@ optionsForPath(std::string_view relPath)
     Options opts;
     std::string p(relPath);
     std::replace(p.begin(), p.end(), '\\', '/');
-    if (p.rfind("tests/", 0) == 0 ||
-        p.find("/tests/") != std::string::npos) {
-        // Tests include sibling fixtures ("cluster_fixture.h") directly.
+    bool testLike = p.rfind("tests/", 0) == 0 ||
+                    p.find("/tests/") != std::string::npos;
+    bool driverLike = p.rfind("tools/", 0) == 0 ||
+                      p.rfind("bench/", 0) == 0;
+    if (testLike || driverLike) {
+        // Tests include sibling fixtures ("cluster_fixture.h") and the
+        // tools/benches their own local headers ("lint.h",
+        // "bench_common.h") directly.
         opts.requireModulePrefix = false;
-        // Test bodies run the simulator to completion inside the
-        // capturing scope; see Options::checkRefCaptures.
+        // Test bodies and bench/tool drivers pump the simulator with
+        // run() inside the capturing scope, so their locals outlive
+        // every queued callback and `[&]` is the idiomatic way to
+        // collect results. In src/, a scheduled callback escapes the
+        // scheduling scope.
         opts.checkRefCaptures = false;
     }
     if (p.find("sim/random.") != std::string::npos) {

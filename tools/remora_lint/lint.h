@@ -3,8 +3,8 @@
  * remora-lint: project-specific hazard checks for the remora tree.
  *
  * A light single-file lexer (comments/strings stripped, identifiers and
- * punctuation tokenized) drives five rule families that general-purpose
- * tools either miss or cannot know about:
+ * punctuation tokenized; source_model.h) drives the rule families that
+ * general-purpose tools either miss or cannot know about:
  *
  *  - coroutine-param hazards: a `sim::Task<...>` coroutine copies its
  *    by-value parameters into the coroutine frame, but reference and
@@ -31,6 +31,13 @@
  *  - include hygiene: no relative `../`/`./` includes, and quoted
  *    project includes must carry their module prefix ("sim/task.h",
  *    never "task.h") so the include graph mirrors the layer diagram.
+ *  - flow rules (remora-flow, flow.h): a per-function CFG with
+ *    `co_await` expressions as first-class suspension nodes, plus a
+ *    forward dataflow pass, finds lock-held-across-suspension,
+ *    use-after-suspension, skipped-release-on-early-exit, and
+ *    unchecked vectored-op statuses on every path.
+ *  - include layers (layers.h, whole-tree): the project include DAG
+ *    must be acyclic and respect the module layer diagram.
  *
  * Suppression uses clang-tidy's spelling so one comment silences both
  * tools: `// NOLINT(<check>)` on the offending line or
@@ -83,6 +90,59 @@ enum class Rule
     kNondeterminism,
     /** Relative or unprefixed project include (error). */
     kIncludeHygiene,
+    /**
+     * Flow rule: a SpinLock/token acquired by an awaited `acquire()`
+     * is still held when the function suspends on a *different* lock's
+     * spinning `acquire()` — the static form of the cross-order
+     * deadlocks remora-mc finds by schedule exploration — or a
+     * host-thread guard (`std::lock_guard`/`unique_lock`/`scoped_lock`)
+     * is live at any `co_await` (error).
+     */
+    kLockAcrossSuspension,
+    /**
+     * Flow rule: a pointer/reference/`string_view`/span local bound to
+     * borrowed data (member state, pointer-deref chains, view-returning
+     * calls) before a suspension point and used after it, when the
+     * borrowed-from owner may have mutated during the suspension
+     * (error).
+     */
+    kUseAfterSuspension,
+    /**
+     * Flow rule: a function both acquires and releases the same lock /
+     * begin-end pair, but some early-exit path leaves it held
+     * (advisory: the paired shape suggests the hold was meant to be
+     * scoped).
+     */
+    kReleaseOnAllPaths,
+    /**
+     * Flow rule: the result of an awaited `readv`/`casv`/`issueVector`
+     * whose per-sub-op statuses are never inspected, or an awaited
+     * `writev` status never checked — the PR 6 contract is that a
+     * stale generation fails the sub-op, not the batch (advisory).
+     */
+    kUncheckedVectorStatus,
+    /**
+     * Whole-tree rule: a `src/` include edge that climbs the layer
+     * diagram upward, or a cycle in the include DAG (error).
+     */
+    kIncludeLayer,
+};
+
+/**
+ * Every rule, for iteration (--list-rules, JSON schema). The name /
+ * severity / description accessors below are switch-based with
+ * -Werror=switch on remora_lint_core, so adding a Rule enumerator
+ * without wiring all three is a compile error; keep this array in the
+ * same order as the enum.
+ */
+inline constexpr Rule kAllRules[] = {
+    Rule::kCoroutineRefParam,    Rule::kCoroutinePtrParam,
+    Rule::kRefCaptureDeferred,   Rule::kDetachedCoroutine,
+    Rule::kDetachedCoroutineDetach, Rule::kScalarOpLoop,
+    Rule::kNondeterminism,       Rule::kIncludeHygiene,
+    Rule::kLockAcrossSuspension, Rule::kUseAfterSuspension,
+    Rule::kReleaseOnAllPaths,    Rule::kUncheckedVectorStatus,
+    Rule::kIncludeLayer,
 };
 
 /** remora-lint's name for @p rule, as used in NOLINT(...) lists. */
@@ -90,6 +150,12 @@ const char *ruleName(Rule rule);
 
 /** True when findings of @p rule fail the build (vs. advisory). */
 bool ruleIsError(Rule rule);
+
+/** One-line human description of @p rule, for --list-rules. */
+const char *ruleDescription(Rule rule);
+
+/** True for the four CFG/dataflow rules (reported in gate summaries). */
+bool ruleIsFlow(Rule rule);
 
 /** One reported violation. */
 struct Finding
@@ -123,6 +189,13 @@ struct Options
     bool checkDetachedCoroutines = true;
     /** Check for scalar awaited write()/read() calls inside loops. */
     bool checkScalarOpLoops = true;
+    /**
+     * Run the CFG/dataflow pass (flow.h): lock-across-suspension,
+     * use-after-suspension, release-on-all-paths, and
+     * unchecked-vector-status. On everywhere; the rules are
+     * path-sensitive enough to stay quiet on driver-style code.
+     */
+    bool checkFlowRules = true;
     /** Check for banned nondeterminism sources. */
     bool checkNondeterminism = true;
     /** Check include style. */
@@ -158,5 +231,12 @@ Options optionsForPath(std::string_view relPath);
 
 /** True when @p relPath is a file remora-lint should scan (.h/.cc/.cpp). */
 bool shouldLint(std::string_view relPath);
+
+/**
+ * Findings as a machine-readable JSON array:
+ * `[{"file":...,"line":N,"rule":...,"severity":"error"|"advisory",
+ *    "message":...}, ...]`, sorted as given.
+ */
+std::string findingsToJson(const std::vector<Finding> &findings);
 
 } // namespace remora::lint

@@ -244,6 +244,8 @@ lockOrderWorker(rmem::SpinLock *first, rmem::SpinLock *second,
     auto a = co_await first->acquire();
     REMORA_ASSERT(a.ok());
     co_await sim::delay(*s, sim::usec(200));
+    // The planted cross-order deadlock remora-mc must rediscover.
+    // NOLINTNEXTLINE(remora-lock-across-suspension)
     auto b = co_await second->acquire();
     REMORA_ASSERT(b.ok());
     auto rb = co_await second->release();
