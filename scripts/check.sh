@@ -9,6 +9,7 @@
 #   scripts/check.sh --asan     # + ASan/UBSan suite in build-asan/
 #   scripts/check.sh --race     # + happens-before race gate, 8 seeds
 #   scripts/check.sh --mc       # + bounded schedule exploration gate
+#   scripts/check.sh --faults   # + lossy-link delivery gate, 8 seeds
 #   scripts/check.sh --bench    # + bench regression gate vs baselines
 #   scripts/check.sh --all      # every gate above
 #
@@ -33,6 +34,7 @@ DO_FORMAT=0
 DO_ASAN=0
 DO_RACE=0
 DO_MC=0
+DO_FAULTS=0
 DO_BENCH=0
 for arg in "$@"; do
     case "${arg}" in
@@ -42,8 +44,9 @@ for arg in "$@"; do
         --asan) DO_ASAN=1 ;;
         --race) DO_RACE=1 ;;
         --mc) DO_MC=1 ;;
+        --faults) DO_FAULTS=1 ;;
         --bench) DO_BENCH=1 ;;
-        --all) DO_LINT=1; DO_TIDY=1; DO_FORMAT=1; DO_ASAN=1; DO_RACE=1; DO_MC=1; DO_BENCH=1 ;;
+        --all) DO_LINT=1; DO_TIDY=1; DO_FORMAT=1; DO_ASAN=1; DO_RACE=1; DO_MC=1; DO_FAULTS=1; DO_BENCH=1 ;;
         -h|--help)
             sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
             exit 0
@@ -175,6 +178,31 @@ if [[ "${DO_MC}" == 1 ]]; then
     GATES_RUN+=("mc[workloads=${MC_W} schedules=${MC_S} findings=${MC_F}]")
 fi
 
+if [[ "${DO_FAULTS}" == 1 ]]; then
+    echo
+    echo "== faults: end-to-end delivery audit under injected loss =="
+    cmake --build build -j "${JOBS}" --target fault_probe
+    FAULT_SEEDS=(0 1 2 3 4 5 6 7)
+    FAULT_DROP=0.05
+    FAULT_DROPS=0
+    # Per-seed probe: notified writes and read-backs cross a link that
+    # drops FAULT_DROP of all cells. Every user-visible op must land
+    # exactly once (undelivered=0, no abandonment, nothing wedged) or
+    # the probe exits nonzero and the gate fails. The digest confirms
+    # each seed ran a distinct, replayable lossy schedule.
+    for seed in "${FAULT_SEEDS[@]}"; do
+        line="$(./build/tools/fault_probe/fault_probe "${seed}" "${FAULT_DROP}")" || {
+            echo "${line}"
+            echo "faults gate: lost user-visible ops at seed ${seed}" >&2
+            exit 1
+        }
+        echo "  ${line}"
+        drops="$(sed -n 's/.*drops=\([0-9]*\).*/\1/p' <<<"${line}")"
+        FAULT_DROPS=$((FAULT_DROPS + drops))
+    done
+    GATES_RUN+=("faults[seeds=${#FAULT_SEEDS[@]} drops=${FAULT_DROPS} undelivered=0]")
+fi
+
 if [[ "${DO_BENCH}" == 1 ]]; then
     echo
     echo "== bench: regression gate vs bench/baselines =="
@@ -195,7 +223,32 @@ if [[ "${DO_BENCH}" == 1 ]]; then
     # every PR: its throughput rates get the same wide berth as the
     # explorer rate. Its corpus.findings count is deterministic and
     # stays at the default tolerance.
+    # The fault-ablation rows under loss measure recovery tails, which
+    # swing with any retransmit-timing change: their latencies are
+    # lower-is-better (an earlier repair is a win, not a regression)
+    # and their drop/retransmit counts get a wide berth — the bench's
+    # own delivery and repaired-by-retransmit checks carry the
+    # qualitative gate. The 0% row stays at the default tolerance: it
+    # is the machinery-off hot-path guard and must not move at all.
     ./build/tools/bench_diff/bench_diff --tol 5 \
+        --tol-metric drop_2.write_round_us=30 \
+        --tol-metric drop_2.read_round_us=30 \
+        --tol-metric drop_5.write_round_us=30 \
+        --tol-metric drop_5.read_round_us=30 \
+        --tol-metric drop_10.write_round_us=30 \
+        --tol-metric drop_10.read_round_us=30 \
+        --tol-metric drop_2.drops=60 \
+        --tol-metric drop_2.retransmits=60 \
+        --tol-metric drop_5.drops=60 \
+        --tol-metric drop_5.retransmits=60 \
+        --tol-metric drop_10.drops=60 \
+        --tol-metric drop_10.retransmits=60 \
+        --dir-metric drop_2.write_round_us=down \
+        --dir-metric drop_2.read_round_us=down \
+        --dir-metric drop_5.write_round_us=down \
+        --dir-metric drop_5.read_round_us=down \
+        --dir-metric drop_10.write_round_us=down \
+        --dir-metric drop_10.read_round_us=down \
         --tol-metric explore.schedules_per_sec=90 \
         --tol-metric tree.files_per_sec=90 \
         --tol-metric corpus.files_per_sec=90 \

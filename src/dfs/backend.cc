@@ -247,9 +247,17 @@ DxBackend::read(FileHandle fh, uint64_t offset, uint32_t count)
     // per window (one trap, one round trip, one deposit interrupt)
     // where the scalar loop paid one of each per block. Each block's
     // header+payload lands in its own scratch slot.
-    for (size_t base = 0; base < plan.size(); base += kScratchSlots) {
-        size_t window =
-            std::min<size_t>(kScratchSlots, plan.size() - base);
+    //
+    // Under loss a big window is fragile — one dropped cell times out
+    // the whole batch — so a timeout halves the window and retries the
+    // same range rather than surfacing the error: smaller frames have
+    // proportionally better odds of arriving intact. At window 1 a
+    // bounded number of retries remains before the timeout propagates.
+    size_t windowCap = kScratchSlots;
+    int retriesAtMin = 0;
+    constexpr int kMaxRetriesAtMin = 3;
+    for (size_t base = 0; base < plan.size();) {
+        size_t window = std::min<size_t>(windowCap, plan.size() - base);
         std::vector<rmem::BatchBuilder::Read> ops;
         ops.reserve(window);
         for (size_t i = 0; i < window; ++i) {
@@ -266,6 +274,18 @@ DxBackend::read(FileHandle fh, uint64_t offset, uint32_t count)
         auto outcome =
             co_await engine_.readv(std::move(ops), kDxReadTimeout);
         if (!outcome.status.ok()) {
+            bool retryable =
+                outcome.status.code() == util::ErrorCode::kTimeout &&
+                (windowCap > 1 || retriesAtMin < kMaxRetriesAtMin);
+            if (retryable) {
+                if (windowCap > 1) {
+                    windowCap /= 2;
+                } else {
+                    ++retriesAtMin;
+                }
+                ++windowShrinks_;
+                continue; // retry the same range with a smaller window
+            }
             co_return outcome.status;
         }
         REMORA_ASSERT(outcome.results.size() == window);
@@ -302,6 +322,7 @@ DxBackend::read(FileHandle fh, uint64_t offset, uint32_t count)
                 co_return out; // short block: end of file
             }
         }
+        base += window;
     }
     co_return out;
 }
@@ -315,28 +336,116 @@ DxBackend::write(FileHandle fh, uint64_t offset, std::vector<uint8_t> data)
     // preserved by the serving CPU's FIFO, so the data-first / tag-last
     // discipline holds exactly as it did for sequential scalar writes —
     // a concurrent reader never sees a valid tag over missing bytes.
-    std::vector<rmem::BatchBuilder::Write> subs;
-    uint64_t pos = 0;
-    while (pos < data.size()) {
+    struct BlockPut
+    {
+        uint64_t blockNo;
+        uint32_t blockOff;
+        uint32_t chunk;
+        uint64_t slotOff;
+        uint64_t pos;
+        uint32_t validBytes;
+    };
+    std::vector<BlockPut> puts;
+    for (uint64_t pos = 0; pos < data.size();) {
         uint64_t abs = offset + pos;
         uint64_t blockNo = abs / kBlockBytes;
         uint32_t blockOff = static_cast<uint32_t>(abs % kBlockBytes);
         uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(
             data.size() - pos, kBlockBytes - blockOff));
         uint32_t slot = dataSlot(fh.key(), blockNo, geo_.dataSlots);
-        uint64_t slotOff = static_cast<uint64_t>(slot) * kDataSlotBytes;
+        puts.push_back(BlockPut{blockNo, blockOff, chunk,
+                                static_cast<uint64_t>(slot) * kDataSlotBytes,
+                                pos, blockOff + chunk});
+        pos += chunk;
+    }
+
+    // A write covering only part of its block must not shrink the
+    // block's valid range: stamping validBytes = blockOff + chunk over
+    // a fully-valid cached block would truncate it, and the next read
+    // would mistake the cut for end-of-file. Fetch those blocks'
+    // current headers first and keep the larger extent. Full-block
+    // writes define the whole range themselves and skip the round
+    // trip, so the streaming path pays nothing.
+    std::vector<size_t> partials;
+    for (size_t i = 0; i < puts.size(); ++i) {
+        if (puts[i].blockOff > 0 || puts[i].chunk < kBlockBytes) {
+            partials.push_back(i);
+        }
+    }
+    if (!partials.empty()) {
+        rmem::VectorOutcome hdrs;
+        for (int attempt = 0;; ++attempt) {
+            std::vector<rmem::BatchBuilder::Read> ops;
+            ops.reserve(partials.size());
+            for (size_t k = 0; k < partials.size(); ++k) {
+                rmem::BatchBuilder::Read op;
+                op.src = areas_.data;
+                op.srcOff = static_cast<uint32_t>(puts[partials[k]].slotOff);
+                op.dstSeg = scratchSeg_;
+                op.dstOff = static_cast<uint32_t>(k * kScratchSlotBytes);
+                op.count = kDataHeaderBytes;
+                ops.push_back(std::move(op));
+            }
+            hdrs = co_await engine_.readv(std::move(ops), kDxReadTimeout);
+            if (hdrs.status.ok()) {
+                break;
+            }
+            if (hdrs.status.code() != util::ErrorCode::kTimeout ||
+                attempt >= 2) {
+                co_return hdrs.status;
+            }
+        }
+        REMORA_ASSERT(hdrs.results.size() == partials.size());
+        for (size_t k = 0; k < partials.size(); ++k) {
+            BlockPut &p = puts[partials[k]];
+            const rmem::VectorSubResult &res = hdrs.results[k];
+            if (res.status != util::ErrorCode::kOk) {
+                co_return util::Status(res.status,
+                                       "header fetch rejected at server");
+            }
+            DataSlotHeader old = DataSlotHeader::decode(res.data);
+            if (old.flag == kSlotValid && old.fhKey == fh.key() &&
+                old.blockNo == p.blockNo) {
+                p.validBytes = std::max(p.validBytes, old.validBytes);
+            } else if (p.blockOff > 0) {
+                // The slot holds some other block, so the bytes below
+                // blockOff aren't ours to vouch for; depositing anyway
+                // would mark a foreign prefix valid under our key. Let
+                // the server do the read-modify-write instead.
+                ++misses_;
+                if (fallback_ != nullptr) {
+                    auto reply = co_await fallback_->call(
+                        encodeWriteCall(fh, offset, data));
+                    if (!reply.ok()) {
+                        co_return reply.status();
+                    }
+                    co_return decodeWriteReply(reply.value());
+                }
+                co_return util::Status(
+                    util::ErrorCode::kNotFound,
+                    "partial write to block not in server cache");
+            }
+        }
+    }
+
+    std::vector<rmem::BatchBuilder::Write> subs;
+    for (const BlockPut &p : puts) {
+        uint64_t blockNo = p.blockNo;
+        uint32_t blockOff = p.blockOff;
+        uint32_t chunk = p.chunk;
+        uint64_t slotOff = p.slotOff;
 
         DataSlotHeader hdr;
         hdr.flag = kSlotValid;
         hdr.dirty = 1;
         hdr.fhKey = fh.key();
         hdr.blockNo = blockNo;
-        hdr.validBytes = blockOff + chunk;
+        hdr.validBytes = p.validBytes;
         std::vector<uint8_t> hdrBuf(kDataHeaderBytes);
         hdr.encode(hdrBuf);
 
         auto chunkSpan =
-            std::span<const uint8_t>(data).subspan(pos, chunk);
+            std::span<const uint8_t>(data).subspan(p.pos, chunk);
         if (blockOff == 0) {
             // Header and data are contiguous: one sub-op.
             std::vector<uint8_t> buf;
@@ -358,7 +467,6 @@ DxBackend::write(FileHandle fh, uint64_t offset, std::vector<uint8_t> data)
                 areas_.data, static_cast<uint32_t>(slotOff),
                 std::move(hdrBuf), false});
         }
-        pos += chunk;
     }
 
     rmem::BatchBuilder batch(engine_);

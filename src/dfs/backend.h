@@ -115,6 +115,10 @@ class DxBackend : public FileServiceBackend
     /** Remote cache misses observed (fell back or failed). */
     uint64_t misses() const { return misses_; }
 
+    /** Vectored-READ timeouts absorbed by halving (or, at window 1,
+     *  re-issuing) the read window instead of surfacing the error. */
+    uint64_t windowShrinks() const { return windowShrinks_; }
+
   private:
     /** Remote-read @p count bytes at @p areaOff of @p area (by value:
      *  the handle is copied into the coroutine frame, so it stays valid
@@ -134,6 +138,7 @@ class DxBackend : public FileServiceBackend
     rmem::SegmentId scratchSeg_ = 0;
     uint32_t scratchCursor_ = 0;
     uint64_t misses_ = 0;
+    uint64_t windowShrinks_ = 0;
 };
 
 /** Hybrid-1 backend: marshaled calls over write-with-notification. */

@@ -71,8 +71,14 @@ Aal5Reassembler::feed(const Cell &cell)
 
     uint32_t calcCrc = util::crc32Ieee(
         std::span<const uint8_t>(pdu.data(), pdu.size() - 4));
-    if (calcCrc != wireCrc || length + 8ul > pdu.size()) {
+    if (calcCrc != wireCrc) {
         crcErrors_.inc();
+        return resync(cell, pdu, length);
+    }
+    if (length + 8ul > pdu.size()) {
+        // CRC verified over these exact bytes, so the wire is innocent:
+        // the sender wrote a LEN that does not fit its own CS-PDU.
+        lengthErrors_.inc();
         return std::nullopt;
     }
 
@@ -82,6 +88,47 @@ Aal5Reassembler::feed(const Cell &cell)
     f.traceOp = cell.traceOp;
     f.payload.assign(pdu.begin(), pdu.begin() + length);
     return f;
+}
+
+std::optional<Aal5Reassembler::Frame>
+Aal5Reassembler::resync(const Cell &cell, const std::vector<uint8_t> &pdu,
+                        uint16_t length)
+{
+    // If the CRC failure is two glued frames (frame N lost its end-flag
+    // cell, so frame N+1 accumulated behind it), the trailer we just
+    // read belongs to frame N+1 and its LEN names the tail exactly:
+    // the last aal5CellCount(LEN) cells of the glue are frame N+1's
+    // CS-PDU, whose own CRC must verify for the recovery to be real.
+    size_t candidateBytes = aal5CellCount(length) * Cell::kPayloadBytes;
+    if (candidateBytes >= pdu.size()) {
+        return std::nullopt; // nothing shorter to resync onto
+    }
+    auto candidate = std::span<const uint8_t>(
+        pdu.data() + pdu.size() - candidateBytes, candidateBytes);
+    util::ByteReader candTrailer(candidate.subspan(candidateBytes - 4, 4));
+    uint32_t candWireCrc = candTrailer.getU32();
+    uint32_t candCalcCrc =
+        util::crc32Ieee(candidate.subspan(0, candidateBytes - 4));
+    if (candCalcCrc != candWireCrc) {
+        return std::nullopt; // genuine corruption, not a glue
+    }
+    framesResynced_.inc();
+    framesOk_.inc();
+    Frame f;
+    f.srcVci = cell.vci;
+    f.traceOp = cell.traceOp;
+    f.payload.assign(candidate.begin(), candidate.begin() + length);
+    return f;
+}
+
+void
+Aal5Reassembler::registerStats(obs::MetricRegistry &reg,
+                               const std::string &prefix) const
+{
+    reg.add(prefix + ".crc_errors", crcErrors_);
+    reg.add(prefix + ".length_errors", lengthErrors_);
+    reg.add(prefix + ".frames_ok", framesOk_);
+    reg.add(prefix + ".frames_resynced", framesResynced_);
 }
 
 } // namespace remora::net

@@ -5,19 +5,27 @@
  * Frames (CS-PDUs) are carried as a run of cells on one (vpi, vci) pair;
  * the last cell is flagged in its PTI. The CS-PDU is the frame payload,
  * zero padding, and an 8-octet trailer (UU, CPI, 16-bit length, CRC-32)
- * aligned so the total is a multiple of 48. Reassembly verifies both the
- * length field and the CRC; a failure is counted and the frame dropped
- * (the paper treats loss in the cluster as catastrophic, so users of the
- * reassembler panic on it by default).
+ * aligned so the total is a multiple of 48. Reassembly verifies the CRC
+ * first (wire damage) and then the length field (peer framing bug); each
+ * failure is counted separately and the frame dropped. When a CRC
+ * failure is really two frames glued together by a lost cell — the end
+ * flag of frame N never arrived, so frame N+1's cells piled onto N's
+ * partial buffer — feed() resynchronizes on the tail: the glued PDU's
+ * trailer belongs to frame N+1, so its LEN field locates a candidate
+ * tail PDU whose own CRC proves the recovery. Frame N stays lost (the
+ * recovery layers above retransmit it); frame N+1 is delivered instead
+ * of being poisoned.
  */
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "net/cell.h"
+#include "obs/metrics.h"
 #include "sim/stats.h"
 
 namespace remora::net {
@@ -71,16 +79,40 @@ class Aal5Reassembler
      */
     std::optional<Frame> feed(const Cell &cell);
 
-    /** Frames dropped due to CRC or length mismatch. */
+    /** Frames dropped because the CRC-32 check failed. */
     uint64_t crcErrors() const { return crcErrors_.value(); }
+
+    /**
+     * Frames whose CRC verified but whose LEN field did not fit the
+     * CS-PDU. Distinct from crcErrors(): a length mismatch with a good
+     * CRC is a peer framing bug, not wire damage.
+     */
+    uint64_t lengthErrors() const { return lengthErrors_.value(); }
 
     /** Frames successfully reassembled. */
     uint64_t framesOk() const { return framesOk_.value(); }
 
+    /**
+     * Times a CRC failure turned out to be two frames glued by a lost
+     * cell and the tail frame was recovered intact (see feed()).
+     */
+    uint64_t framesResynced() const { return framesResynced_.value(); }
+
+    /** Register "<prefix>.crc_errors" etc. */
+    void registerStats(obs::MetricRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
+    /** Attempt tail recovery of a glued PDU after a CRC failure. */
+    std::optional<Frame> resync(const Cell &cell,
+                                const std::vector<uint8_t> &pdu,
+                                uint16_t length);
+
     std::unordered_map<uint16_t, std::vector<uint8_t>> partial_;
     sim::Counter crcErrors_;
+    sim::Counter lengthErrors_;
     sim::Counter framesOk_;
+    sim::Counter framesResynced_;
 };
 
 } // namespace remora::net

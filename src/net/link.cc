@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/fault.h"
 #include "util/panic.h"
 
 namespace remora::net {
@@ -79,7 +80,20 @@ Link::pump()
         cellsSent_.inc();
         // The cell is fully received one serialization + propagation
         // after transmission starts.
-        sim_.scheduleAt(wireFreeAt_ + params_.propagation,
+        sim::Time deliverAt = wireFreeAt_ + params_.propagation;
+        if (faults_ != nullptr) {
+            FaultInjector::Decision d =
+                faults_->decide(cell, deliverAt, cellTime_);
+            if (d.action == FaultInjector::Action::kDrop) {
+                // The cell dies in flight. Its credit still comes back
+                // after a propagation delay, as if the receiver had
+                // drained it — flow control cannot see the loss.
+                returnCredit();
+                continue;
+            }
+            deliverAt += d.extraDelay;
+        }
+        sim_.scheduleAt(deliverAt,
                         [this, cell] { sink_->acceptCell(cell); });
     }
 }

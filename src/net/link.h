@@ -27,6 +27,7 @@
 
 namespace remora::net {
 
+class FaultInjector;
 class Link;
 
 /** Receiving endpoint of a Link. */
@@ -115,6 +116,17 @@ class Link
     void registerStats(obs::MetricRegistry &reg,
                        const std::string &prefix) const;
 
+    /**
+     * Install (or clear, with nullptr) a fault injector consulted for
+     * every cell leaving the wire. The link does not own it. With an
+     * injector installed the "never drops" guarantee above no longer
+     * holds — recovery belongs to the layers on top.
+     */
+    void setFaultInjector(FaultInjector *injector) { faults_ = injector; }
+
+    /** The installed fault injector, if any. */
+    FaultInjector *faultInjector() const { return faults_; }
+
     /** Diagnostic name. */
     const std::string &name() const { return name_; }
 
@@ -126,6 +138,7 @@ class Link
     LinkParams params_;
     std::string name_;
     CellSink *sink_ = nullptr;
+    FaultInjector *faults_ = nullptr;
     sim::Duration cellTime_;
     std::deque<Cell> queue_;
     size_t credits_;

@@ -77,4 +77,29 @@ Network::wireSwitched(sim::Duration fabricLatency)
     wired_ = true;
 }
 
+void
+Network::installFaults(const FaultPlan &plan)
+{
+    REMORA_ASSERT(wired_);
+    for (auto &link : links_) {
+        link->setFaultInjector(nullptr);
+    }
+    injectors_.clear();
+    for (auto &link : links_) {
+        injectors_.push_back(
+            std::make_unique<FaultInjector>(sim_, plan, link->name()));
+        link->setFaultInjector(injectors_.back().get());
+    }
+}
+
+uint64_t
+Network::totalFaultDrops() const
+{
+    uint64_t total = 0;
+    for (const auto &inj : injectors_) {
+        total += inj->drops();
+    }
+    return total;
+}
+
 } // namespace remora::net

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/host_interface.h"
 #include "net/link.h"
 #include "net/switch.h"
@@ -61,6 +62,24 @@ class Network
     /** All links, for stats inspection. */
     const std::vector<std::unique_ptr<Link>> &links() const { return links_; }
 
+    /**
+     * Install one FaultInjector per existing link, each seeded from
+     * @p plan.seed folded with the link's name so the two directions of
+     * a wire draw independent streams. Call after wiring; calling again
+     * replaces the previous injectors.
+     */
+    void installFaults(const FaultPlan &plan);
+
+    /** Installed injectors (empty until installFaults). */
+    const std::vector<std::unique_ptr<FaultInjector>> &
+    faultInjectors() const
+    {
+        return injectors_;
+    }
+
+    /** Sum of cells dropped across every installed injector. */
+    uint64_t totalFaultDrops() const;
+
     /** Number of registered hosts. */
     size_t hostCount() const { return hosts_.size(); }
 
@@ -73,6 +92,7 @@ class Network
     std::vector<std::pair<NodeId, HostInterface *>> hosts_;
     std::unordered_map<NodeId, HostInterface *> byId_;
     std::vector<std::unique_ptr<Link>> links_;
+    std::vector<std::unique_ptr<FaultInjector>> injectors_;
     std::unique_ptr<Switch> switch_;
     bool wired_ = false;
 };

@@ -689,6 +689,12 @@ RmemEngine::onMessage(net::NodeId src, Message &&msg)
         void operator()(RpcMsg &) {
             REMORA_PANIC("RPC message routed to rmem engine");
         }
+        void operator()(SeqMsg &) {
+            REMORA_PANIC("reliability envelope leaked past the wire");
+        }
+        void operator()(AckMsg &) {
+            REMORA_PANIC("reliability ack leaked past the wire");
+        }
     };
     std::visit(Visitor{this, src}, msg);
 }

@@ -1,6 +1,7 @@
 #include "rmem/protocol.h"
 
 #include "util/bytes.h"
+#include "util/crc.h"
 #include "util/panic.h"
 
 namespace remora::rmem {
@@ -10,6 +11,8 @@ namespace {
 /** Flags packed into the high nibble of the first octet. */
 constexpr uint8_t kFlagNotify = 0x10;
 constexpr uint8_t kFlagRpcResponse = 0x20;
+/** RPC request carries an 8-byte idempotency key after the xid. */
+constexpr uint8_t kFlagRpcIdem = 0x40;
 
 uint8_t
 firstOctet(MsgType type, bool notify, bool rpcResponse = false)
@@ -70,6 +73,8 @@ messageType(const Message &msg)
         {
             return MsgType::kVectorResp;
         }
+        MsgType operator()(const SeqMsg &) const { return MsgType::kSeqData; }
+        MsgType operator()(const AckMsg &) const { return MsgType::kAck; }
     };
     return std::visit(Visitor{}, msg);
 }
@@ -98,6 +103,10 @@ msgTypeName(MsgType type)
         return "vector_op";
       case MsgType::kVectorResp:
         return "vector_resp";
+      case MsgType::kSeqData:
+        return "seq_data";
+      case MsgType::kAck:
+        return "ack";
     }
     return "unknown";
 }
@@ -181,8 +190,15 @@ encodeMessage(const Message &msg)
       }
       case MsgType::kRpc: {
         const auto &m = std::get<RpcMsg>(msg);
-        w.putU8(firstOctet(MsgType::kRpc, false, m.isResponse));
+        uint8_t first = firstOctet(MsgType::kRpc, false, m.isResponse);
+        if (m.idemKey != 0) {
+            first |= kFlagRpcIdem;
+        }
+        w.putU8(first);
         w.putU32(m.xid);
+        if (m.idemKey != 0) {
+            w.putU64(m.idemKey);
+        }
         w.putU32(static_cast<uint32_t>(m.body.size()));
         w.putBytes(m.body);
         break;
@@ -238,6 +254,32 @@ encodeMessage(const Message &msg)
                 break;
             }
         }
+        break;
+      }
+      case MsgType::kSeqData: {
+        const auto &m = std::get<SeqMsg>(msg);
+        w.putU8(firstOctet(MsgType::kSeqData, false));
+        w.putU32(m.seq);
+        w.putU32(m.innerCrc);
+        w.putU8(m.lastFrag);
+        w.putU32(static_cast<uint32_t>(m.inner.size()));
+        w.putBytes(m.inner);
+        break;
+      }
+      case MsgType::kAck: {
+        // An ack often rides a raw single cell, which has no AAL5 CRC;
+        // the trailing guard word makes a flipped cumSeq bit a decode
+        // error instead of a silent retirement of undelivered envelopes.
+        const auto &m = std::get<AckMsg>(msg);
+        w.putU8(firstOctet(MsgType::kAck, false));
+        w.putU32(m.cumSeq);
+        uint8_t seqBytes[4] = {
+            static_cast<uint8_t>(m.cumSeq),
+            static_cast<uint8_t>(m.cumSeq >> 8),
+            static_cast<uint8_t>(m.cumSeq >> 16),
+            static_cast<uint8_t>(m.cumSeq >> 24),
+        };
+        w.putU32(util::crc32Ieee(seqBytes));
         break;
       }
     }
@@ -356,6 +398,9 @@ decodeBody(util::ByteReader &r)
         RpcMsg m;
         m.isResponse = (first & kFlagRpcResponse) != 0;
         m.xid = r.getU32();
+        if ((first & kFlagRpcIdem) != 0) {
+            m.idemKey = r.getU64();
+        }
         uint32_t count = r.getU32();
         auto data = r.viewBytes(count);
         if (!r.ok()) {
@@ -447,6 +492,38 @@ decodeBody(util::ByteReader &r)
             m.results.push_back(std::move(res));
         }
         return Message(std::move(m));
+      }
+      case MsgType::kSeqData: {
+        SeqMsg m;
+        m.seq = r.getU32();
+        m.innerCrc = r.getU32();
+        m.lastFrag = r.getU8();
+        uint32_t count = r.getU32();
+        auto data = r.viewBytes(count);
+        if (!r.ok()) {
+            return malformed();
+        }
+        m.inner.assign(data.begin(), data.end());
+        return Message(std::move(m));
+      }
+      case MsgType::kAck: {
+        AckMsg m;
+        m.cumSeq = r.getU32();
+        uint32_t guard = r.getU32();
+        if (!r.ok()) {
+            return malformed();
+        }
+        uint8_t seqBytes[4] = {
+            static_cast<uint8_t>(m.cumSeq),
+            static_cast<uint8_t>(m.cumSeq >> 8),
+            static_cast<uint8_t>(m.cumSeq >> 16),
+            static_cast<uint8_t>(m.cumSeq >> 24),
+        };
+        if (guard != util::crc32Ieee(seqBytes)) {
+            return util::Status(util::ErrorCode::kMalformed,
+                                "ack guard CRC mismatch");
+        }
+        return Message(m);
       }
     }
     return util::Status(util::ErrorCode::kMalformed, "unknown message type");

@@ -44,6 +44,8 @@ enum class MsgType : uint8_t
     kRpc = 8,
     kVectorOp = 9,
     kVectorResp = 10,
+    kSeqData = 11,
+    kAck = 12,
 };
 
 /** Maximum data bytes in a single-cell (small) write. */
@@ -123,12 +125,56 @@ struct RpcMsg
 {
     uint32_t xid = 0;
     bool isResponse = false;
+    /**
+     * At-most-once idempotency key, 0 = none. Nonzero keys let the
+     * server dedup retried requests (fresh xid, same key) and replay
+     * the cached reply instead of re-executing the handler. Encoded
+     * only when nonzero, so retry-free traffic keeps the seed's wire
+     * format and sizes exactly.
+     */
+    uint64_t idemKey = 0;
     std::vector<uint8_t> body;
+};
+
+/**
+ * Reliability envelope (Wire::enableReliability): one fragment of an
+ * inner encoded message, sequenced per (sender, receiver) pair. Large
+ * inner messages are split across consecutive envelopes
+ * (ReliabilityParams::maxFragmentBytes) so the retransmission unit
+ * stays a handful of cells — a single lost cell must not force a
+ * multi-hundred-cell frame to be resent whole, or a lossy link could
+ * never deliver it. The inner CRC covers raw single-cell messages too,
+ * which AAL5's frame CRC never sees — a corrupt envelope is dropped
+ * and recovered by retransmission.
+ */
+struct SeqMsg
+{
+    uint32_t seq = 0;
+    /** CRC-32 over seq||lastFrag||inner (seq as 4 LE bytes), so a
+     *  flipped seq or fragment bit cannot reposition the envelope in
+     *  the stream or splice two messages together. */
+    uint32_t innerCrc = 0;
+    /** 1 when this envelope completes an inner message; 0 when more
+     *  fragments follow on subsequent sequence numbers. */
+    uint8_t lastFrag = 1;
+    std::vector<uint8_t> inner;
+};
+
+/**
+ * Cumulative acknowledgement: every seq <= cumSeq was delivered. The
+ * encoding appends a guard CRC over cumSeq — acks ride raw cells with
+ * no AAL5 CRC, and a corrupt cumSeq must fail decode rather than
+ * silently retire undelivered envelopes.
+ */
+struct AckMsg
+{
+    uint32_t cumSeq = 0;
 };
 
 /** Any wire message. */
 using Message = std::variant<WriteReq, ReadReq, ReadResp, CasReq, CasResp,
-                             Nak, RpcMsg, VectorReq, VectorResp>;
+                             Nak, RpcMsg, VectorReq, VectorResp, SeqMsg,
+                             AckMsg>;
 
 /** The discriminator a Message encodes as. */
 MsgType messageType(const Message &msg);

@@ -5,9 +5,36 @@
 
 #include "obs/trace.h"
 #include "sim/logger.h"
+#include "util/crc.h"
 #include "util/panic.h"
 
 namespace remora::rmem {
+
+namespace {
+
+/**
+ * Envelope checksum covering the sequence number AND the inner bytes.
+ * Small envelopes ride raw single cells with no AAL5 CRC behind them;
+ * if the CRC covered only the payload, a flipped seq bit could deliver
+ * a message at the wrong stream position (breaking FIFO and dedup).
+ */
+uint32_t
+envelopeCrc(uint32_t seq, uint8_t lastFrag, std::span<const uint8_t> inner)
+{
+    util::Crc32 crc;
+    uint8_t seqBytes[5] = {
+        static_cast<uint8_t>(seq),
+        static_cast<uint8_t>(seq >> 8),
+        static_cast<uint8_t>(seq >> 16),
+        static_cast<uint8_t>(seq >> 24),
+        lastFrag,
+    };
+    crc.update(seqBytes);
+    crc.update(inner);
+    return crc.value();
+}
+
+} // namespace
 
 Wire::Wire(mem::Node &node, const CostModel &costs)
     : node_(node), costs_(costs)
@@ -26,6 +53,20 @@ Wire::send(net::NodeId dst, const Message &msg, sim::CpuCategory category,
     msgsSent_.inc();
     bytesSent_.inc(bytes.size());
 
+    MsgType type = messageType(msg);
+    // Acks ride outside the sequenced stream (they ARE the stream's
+    // bookkeeping); everything else gets wrapped when reliability is on.
+    if (reliable_ && type != MsgType::kAck && type != MsgType::kSeqData) {
+        return sendReliable(dst, std::move(bytes), category, traceOp);
+    }
+    return transmitBytes(dst, bytes, msgTypeName(type), category, traceOp);
+}
+
+sim::Future<void>
+Wire::transmitBytes(net::NodeId dst, const std::vector<uint8_t> &bytes,
+                    const char *what, sim::CpuCategory category,
+                    uint64_t traceOp)
+{
     std::vector<net::Cell> cells;
     if (bytes.size() <= net::Cell::kPayloadBytes) {
         // Single raw cell, as the FORE driver sent small requests.
@@ -65,8 +106,7 @@ Wire::send(net::NodeId dst, const Message &msg, sim::CpuCategory category,
     if (obs::TraceRecorder::on()) {
         txSpan = obs::TraceRecorder::instance().beginSpanFor(
             traceOp, node_.name(), "net", "tx_frame",
-            std::string(msgTypeName(messageType(msg))) + " dst=" +
-                std::to_string(dst) + " bytes=" +
+            std::string(what) + " dst=" + std::to_string(dst) + " bytes=" +
                 std::to_string(bytes.size()) + " cells=" +
                 std::to_string(cells.size()));
     }
@@ -163,8 +203,7 @@ Wire::drainLoop()
                 decodeErrors_.inc();
                 continue;
             }
-            msgsReceived_.inc();
-            route(cell->vci, decoded.take(), cell->traceOp);
+            dispatch(cell->vci, decoded.take(), cell->traceOp);
         } else {
             // Memory-bound block path: whole cells, word at a time. The
             // byte-swap is NOT charged here — pad and trailer words are
@@ -205,8 +244,7 @@ Wire::drainLoop()
                         sim::CpuCategory::kDataReceive);
                     obs::TraceRecorder::instance().endSpan(swapSpan);
                 }
-                msgsReceived_.inc();
-                route(frame->srcVci, decoded.take(), frame->traceOp);
+                dispatch(frame->srcVci, decoded.take(), frame->traceOp);
             }
         }
     }
@@ -222,6 +260,218 @@ Wire::registerStats(obs::MetricRegistry &reg, const std::string &prefix) const
     reg.add(prefix + ".msgs_received", msgsReceived_);
     reg.add(prefix + ".bytes_sent", bytesSent_);
     reg.add(prefix + ".decode_errors", decodeErrors_);
+    reg.add(prefix + ".retransmits", retransmits_);
+    reg.add(prefix + ".dups_dropped", dupsDropped_);
+    reg.add(prefix + ".send_failures", sendFailures_);
+    reg.add(prefix + ".acks_sent", acksSent_);
+    reg.add(prefix + ".corrupt_envelopes", corruptEnvelopes_);
+    reg.add(prefix + ".fragments_sent", fragmentsSent_);
+    reassembler_.registerStats(reg, prefix + ".aal5");
+}
+
+void
+Wire::dispatch(net::NodeId src, Message &&msg, uint64_t traceOp)
+{
+    switch (messageType(msg)) {
+      case MsgType::kAck:
+        onAck(src, std::get<AckMsg>(msg).cumSeq);
+        return;
+      case MsgType::kSeqData:
+        onSeqData(src, std::move(std::get<SeqMsg>(msg)), traceOp);
+        return;
+      default:
+        msgsReceived_.inc();
+        route(src, std::move(msg), traceOp);
+    }
+}
+
+sim::Future<void>
+Wire::sendReliable(net::NodeId dst, std::vector<uint8_t> inner,
+                   sim::CpuCategory category, uint64_t traceOp)
+{
+    // Split oversize messages so every envelope — the unit of loss,
+    // retransmission, and checksum — spans only a handful of cells. A
+    // multi-block readv response is hundreds of cells; on a lossy link
+    // the probability of the whole frame surviving any single attempt
+    // is effectively zero, so retransmitting it monolithically would
+    // never converge. Fragments share the per-peer sequence space and
+    // reassemble in order on the far side.
+    const size_t fragMax = std::max<size_t>(relParams_.maxFragmentBytes, 1);
+    PeerTx &tx = peerTx_[dst];
+    sim::Future<void> accepted;
+    size_t off = 0;
+    do {
+        size_t take = std::min(fragMax, inner.size() - off);
+        uint32_t seq = ++tx.lastSeq;
+        SeqMsg env;
+        env.seq = seq;
+        env.lastFrag = (off + take == inner.size()) ? 1 : 0;
+        env.inner.assign(inner.begin() + static_cast<ptrdiff_t>(off),
+                         inner.begin() + static_cast<ptrdiff_t>(off + take));
+        env.innerCrc = envelopeCrc(seq, env.lastFrag, env.inner);
+        std::vector<uint8_t> bytes = encodeMessage(Message(std::move(env)));
+
+        auto [it, inserted] = tx.unacked.try_emplace(seq);
+        REMORA_ASSERT(inserted);
+        PeerTx::Unacked &u = it->second;
+        u.bytes = std::move(bytes);
+        u.category = category;
+        u.traceOp = traceOp;
+        u.attempts = 1;
+        u.nextTimeout = relParams_.retransmitTimeout;
+        armRetransmit(dst, seq);
+        if (off > 0) {
+            fragmentsSent_.inc();
+        }
+        // The returned future tracks the final fragment; earlier ones
+        // enter the TX FIFO ahead of it through the same CPU queue.
+        accepted = transmitBytes(dst, u.bytes, "seq_data", category, traceOp);
+        off += take;
+    } while (off < inner.size());
+    return accepted;
+}
+
+void
+Wire::armRetransmit(net::NodeId dst, uint32_t seq)
+{
+    PeerTx::Unacked &u = peerTx_[dst].unacked[seq];
+    u.timer = node_.simulator().schedule(
+        u.nextTimeout, [this, dst, seq] { onRetransmitTimeout(dst, seq); });
+}
+
+void
+Wire::onRetransmitTimeout(net::NodeId dst, uint32_t seq)
+{
+    auto txIt = peerTx_.find(dst);
+    if (txIt == peerTx_.end()) {
+        return;
+    }
+    auto it = txIt->second.unacked.find(seq);
+    if (it == txIt->second.unacked.end()) {
+        return; // acked in the meantime
+    }
+    PeerTx::Unacked &u = it->second;
+    if (u.attempts >= relParams_.maxAttempts) {
+        // At-most-once gives up here: the message may or may not have
+        // been applied; the layers above own the user-visible outcome
+        // (engine timeouts, RPC retry budgets, DFS fallback).
+        sendFailures_.inc();
+        node_.simulator().noteDigest(
+            "wire.send_failure", (static_cast<uint64_t>(dst) << 32) | seq);
+        REMORA_LOG(kWarn, "wire",
+                   node_.name() << ": abandoning seq " << seq << " to node "
+                                << dst << " after " << u.attempts
+                                << " attempts");
+        txIt->second.unacked.erase(it);
+        return;
+    }
+    ++u.attempts;
+    retransmits_.inc();
+    node_.simulator().noteDigest("wire.retransmit",
+                                 (static_cast<uint64_t>(dst) << 32) | seq);
+    if (obs::TraceRecorder::on() && u.traceOp != 0) {
+        obs::TraceRecorder::instance().instant(
+            node_.name(), "net", "retransmit",
+            "dst=" + std::to_string(dst) + " seq=" + std::to_string(seq) +
+                " attempt=" + std::to_string(u.attempts));
+    }
+    u.nextTimeout *= 2;
+    transmitBytes(dst, u.bytes, "seq_data", u.category, u.traceOp);
+    armRetransmit(dst, seq);
+}
+
+void
+Wire::onSeqData(net::NodeId src, SeqMsg &&env, uint64_t traceOp)
+{
+    if (envelopeCrc(env.seq, env.lastFrag, env.inner) != env.innerCrc) {
+        // Damaged in flight; treat as loss — no ack, so the sender's
+        // retransmit recovers it.
+        corruptEnvelopes_.inc();
+        return;
+    }
+    PeerRx &rx = peerRx_[src];
+    if (env.seq <= rx.delivered) {
+        // Retransmitted after our ack was lost: the apply already
+        // happened, so this must NOT reach a handler again. Re-ack.
+        dupsDropped_.inc();
+        node_.simulator().noteDigest(
+            "wire.dup", (static_cast<uint64_t>(src) << 32) | env.seq);
+        sendAck(src);
+        return;
+    }
+    if (env.seq > rx.delivered + 1) {
+        // A predecessor is missing (dropped or overtaken): hold this
+        // one so delivery stays FIFO per peer — the data-first/tag-last
+        // disciplines above depend on it. The cumulative ack tells the
+        // sender what is still outstanding.
+        rx.ahead.emplace(env.seq, PeerRx::Held{std::move(env.inner),
+                                               traceOp, env.lastFrag != 0});
+        sendAck(src);
+        return;
+    }
+    deliverInner(src, env.inner, env.lastFrag != 0, traceOp);
+    rx.delivered = env.seq;
+    while (!rx.ahead.empty() &&
+           rx.ahead.begin()->first == rx.delivered + 1) {
+        deliverInner(src, rx.ahead.begin()->second.inner,
+                     rx.ahead.begin()->second.lastFrag,
+                     rx.ahead.begin()->second.traceOp);
+        rx.delivered = rx.ahead.begin()->first;
+        rx.ahead.erase(rx.ahead.begin());
+    }
+    sendAck(src);
+}
+
+void
+Wire::onAck(net::NodeId src, uint32_t cumSeq)
+{
+    auto txIt = peerTx_.find(src);
+    if (txIt == peerTx_.end()) {
+        return;
+    }
+    auto &unacked = txIt->second.unacked;
+    for (auto it = unacked.begin();
+         it != unacked.end() && it->first <= cumSeq;) {
+        node_.simulator().cancel(it->second.timer);
+        it = unacked.erase(it);
+    }
+}
+
+void
+Wire::deliverInner(net::NodeId src, const std::vector<uint8_t> &inner,
+                   bool lastFrag, uint64_t traceOp)
+{
+    PeerRx &rx = peerRx_[src];
+    if (!lastFrag) {
+        // More fragments of this message follow on the next sequence
+        // numbers; in-order exactly-once delivery below us makes plain
+        // concatenation a correct reassembly.
+        rx.fragBuf.insert(rx.fragBuf.end(), inner.begin(), inner.end());
+        return;
+    }
+    std::vector<uint8_t> whole;
+    const std::vector<uint8_t> *bytes = &inner;
+    if (!rx.fragBuf.empty()) {
+        whole = std::move(rx.fragBuf);
+        rx.fragBuf.clear();
+        whole.insert(whole.end(), inner.begin(), inner.end());
+        bytes = &whole;
+    }
+    auto decoded = decodeMessage(*bytes);
+    if (!decoded.ok()) {
+        decodeErrors_.inc();
+        return;
+    }
+    msgsReceived_.inc();
+    route(src, decoded.take(), traceOp);
+}
+
+void
+Wire::sendAck(net::NodeId dst)
+{
+    acksSent_.inc();
+    send(dst, Message(AckMsg{peerRx_[dst].delivered}),
+         sim::CpuCategory::kControlTransfer);
 }
 
 void

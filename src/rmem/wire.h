@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "mem/node.h"
@@ -25,6 +27,29 @@
 #include "sim/task.h"
 
 namespace remora::rmem {
+
+/**
+ * Parameters of the optional per-peer reliability layer (OFF by
+ * default — the seed's lossless cluster needs none of it, and the
+ * zero-fault hot path must stay untouched).
+ */
+struct ReliabilityParams
+{
+    /** First retransmit fires this long after transmission. */
+    sim::Duration retransmitTimeout = sim::usec(500);
+    /** Timeout doubles per attempt up to maxAttempts. */
+    int maxAttempts = 12;
+    /**
+     * Largest inner-message slice carried per sequenced envelope;
+     * bigger messages are split across consecutive envelopes and
+     * reassembled in order on the far side. Bounding the
+     * retransmission unit to ~11 cells is what makes large frames
+     * survivable: at a 5% cell-drop rate a 480-byte fragment still
+     * arrives intact more often than not, while a 24 KB frame
+     * (~500 cells) retransmitted whole would essentially never land.
+     */
+    size_t maxFragmentBytes = 480;
+};
 
 /** Kernel-side NIC driver: message framing, PIO costs, RX dispatch. */
 class Wire
@@ -88,6 +113,25 @@ class Wire
     sim::Future<void> send(net::NodeId dst, const Message &msg,
                            sim::CpuCategory category, uint64_t traceOp = 0);
 
+    /**
+     * Turn on at-most-once, in-order delivery toward every peer: each
+     * outgoing message rides a sequenced, checksummed envelope, is
+     * retransmitted with exponential backoff until the peer's
+     * cumulative ACK covers it, and is deduplicated on the serve side
+     * before it can reach a handler — a retransmitted WRITE or CAS
+     * never re-executes against the engine. Departure from the paper's
+     * §3.7 lossless-cluster assumption; see DESIGN.md §15.
+     */
+    void
+    enableReliability(const ReliabilityParams &params = {})
+    {
+        reliable_ = true;
+        relParams_ = params;
+    }
+
+    /** True when the reliability layer is on. */
+    bool reliable() const { return reliable_; }
+
     /** Messages sent, by count. */
     uint64_t messagesSent() const { return msgsSent_.value(); }
 
@@ -99,6 +143,27 @@ class Wire
 
     /** Malformed messages dropped on receive. */
     uint64_t decodeErrors() const { return decodeErrors_.value(); }
+
+    /** Envelope retransmissions performed. */
+    uint64_t retransmits() const { return retransmits_.value(); }
+
+    /** Duplicate envelopes discarded before reaching a handler. */
+    uint64_t dupsDropped() const { return dupsDropped_.value(); }
+
+    /** Envelopes abandoned after maxAttempts (receiver unreachable). */
+    uint64_t sendFailures() const { return sendFailures_.value(); }
+
+    /** Cumulative acknowledgements transmitted. */
+    uint64_t acksSent() const { return acksSent_.value(); }
+
+    /** Envelopes dropped because the inner checksum failed. */
+    uint64_t corruptEnvelopes() const { return corruptEnvelopes_.value(); }
+
+    /** Extra envelopes produced by splitting oversize messages. */
+    uint64_t fragmentsSent() const { return fragmentsSent_.value(); }
+
+    /** The node's AAL5 reassembler (error/resync counters). */
+    const net::Aal5Reassembler &reassembler() const { return reassembler_; }
 
     /** The owning node. */
     mem::Node &node() { return node_; }
@@ -126,6 +191,88 @@ class Wire
      */
     void route(net::NodeId src, Message &&msg, uint64_t traceOp);
 
+    /** Peel reliability envelopes/acks; route everything else. */
+    void dispatch(net::NodeId src, Message &&msg, uint64_t traceOp);
+
+    /** Per-peer transmit state of the reliability layer. */
+    struct PeerTx
+    {
+        /** Highest sequence number assigned so far. */
+        uint32_t lastSeq = 0;
+
+        /** One envelope awaiting acknowledgement. */
+        struct Unacked
+        {
+            std::vector<uint8_t> bytes;
+            sim::CpuCategory category = sim::CpuCategory::kDataReply;
+            uint64_t traceOp = 0;
+            int attempts = 1;
+            sim::Duration nextTimeout = 0;
+            sim::EventId timer = 0;
+        };
+        std::map<uint32_t, Unacked> unacked;
+    };
+
+    /** Per-peer receive state of the reliability layer. */
+    struct PeerRx
+    {
+        /** Highest sequence delivered in order. */
+        uint32_t delivered = 0;
+
+        /** Envelope held until the gap before it fills. */
+        struct Held
+        {
+            std::vector<uint8_t> inner;
+            uint64_t traceOp = 0;
+            bool lastFrag = true;
+        };
+        std::map<uint32_t, Held> ahead;
+
+        /** In-order fragments of a message still being reassembled. */
+        std::vector<uint8_t> fragBuf;
+    };
+
+    /** Wrap @p inner in a SeqMsg, record it, arm its retransmit. */
+    sim::Future<void> sendReliable(net::NodeId dst,
+                                   std::vector<uint8_t> inner,
+                                   sim::CpuCategory category,
+                                   uint64_t traceOp);
+
+    /**
+     * Segment @p bytes into cells and push them through the TX path,
+     * charging PIO. @p what labels the tx_frame trace span.
+     *
+     * @return Future resolved when the last cell enters the TX FIFO.
+     */
+    sim::Future<void> transmitBytes(net::NodeId dst,
+                                    const std::vector<uint8_t> &bytes,
+                                    const char *what,
+                                    sim::CpuCategory category,
+                                    uint64_t traceOp);
+
+    /** Schedule the next retransmit probe for (dst, seq). */
+    void armRetransmit(net::NodeId dst, uint32_t seq);
+
+    /** Retransmit (dst, seq) or abandon it after maxAttempts. */
+    void onRetransmitTimeout(net::NodeId dst, uint32_t seq);
+
+    /** Receive one sequenced envelope: verify, dedup, order, ack. */
+    void onSeqData(net::NodeId src, SeqMsg &&env, uint64_t traceOp);
+
+    /** Receive a cumulative ack: retire covered envelopes. */
+    void onAck(net::NodeId src, uint32_t cumSeq);
+
+    /**
+     * Accept one in-order envelope payload: buffer it if more
+     * fragments follow; otherwise decode and route the reassembled
+     * inner message.
+     */
+    void deliverInner(net::NodeId src, const std::vector<uint8_t> &inner,
+                      bool lastFrag, uint64_t traceOp);
+
+    /** Transmit a cumulative ack mirroring our receive state. */
+    void sendAck(net::NodeId dst);
+
     mem::Node &node_;
     CostModel costs_;
     Handler rmemHandler_;
@@ -133,10 +280,20 @@ class Wire
     net::Aal5Reassembler reassembler_;
     std::unordered_set<net::NodeId> swappedPeers_;
     bool draining_ = false;
+    bool reliable_ = false;
+    ReliabilityParams relParams_;
+    std::unordered_map<net::NodeId, PeerTx> peerTx_;
+    std::unordered_map<net::NodeId, PeerRx> peerRx_;
     sim::Counter msgsSent_;
     sim::Counter msgsReceived_;
     sim::Counter bytesSent_;
     sim::Counter decodeErrors_;
+    sim::Counter retransmits_;
+    sim::Counter dupsDropped_;
+    sim::Counter sendFailures_;
+    sim::Counter acksSent_;
+    sim::Counter corruptEnvelopes_;
+    sim::Counter fragmentsSent_;
 };
 
 } // namespace remora::rmem

@@ -9,6 +9,7 @@
 #include "cluster_fixture.h"
 #include "dfs/backend.h"
 #include "dfs/server.h"
+#include "net/fault.h"
 
 namespace remora {
 namespace {
@@ -175,6 +176,121 @@ TEST(DfsEdge, GrowingWriteThenDxReadOfNewBlock)
     ASSERT_TRUE(got.ok());
     EXPECT_EQ(got.value(), tail);
     EXPECT_EQ(f.dx.misses(), misses);
+}
+
+// ----------------------------------------------------------------------
+// Injected outage: the read window degrades instead of failing
+// ----------------------------------------------------------------------
+
+struct DfsFaultFixture
+{
+    TwoNodeCluster cluster;
+    dfs::FileStore store;
+    dfs::FileServer server;
+    mem::Process &clerkProc;
+    dfs::DxBackend dx;
+    dfs::FileHandle file;
+
+    DfsFaultFixture()
+        : server(cluster.engineB, store),
+          clerkProc(cluster.nodeA.spawnProcess("clerk")),
+          dx(cluster.engineA, clerkProc, server.areaHandles(),
+             dfs::CacheGeometry{}, nullptr)
+    {
+        auto f = store.createFile(store.root(), "data.bin", 20000);
+        EXPECT_TRUE(f.ok());
+        file = f.value();
+        server.warmCaches();
+        server.start();
+        cluster.sim.run();
+    }
+};
+
+TEST(DfsFault, PartialBlockWritePreservesBlockValidRange)
+{
+    // Lossless regression for the bug the 5%-drop workload exposed: a
+    // DX write covering only a prefix of block 1 must not shrink the
+    // block's valid range. Before the header-merge fix it stamped
+    // validBytes = 4096 over a fully-valid block, and the next read
+    // mistook the cut for end-of-file, returning 12288 of 20000 bytes.
+    DfsFaultFixture f;
+    std::vector<uint8_t> patch(4096, 0x5a);
+    auto w = f.dx.write(f.file, 8192, patch);
+    ASSERT_TRUE(runToCompletion(f.cluster.sim, w).ok());
+    f.cluster.sim.run();
+    f.server.scavengeDirtyBlocks();
+
+    auto t = f.dx.read(f.file, 0, 20000);
+    auto got = runToCompletion(f.cluster.sim, t);
+    ASSERT_TRUE(got.ok()) << got.status().toString();
+    ASSERT_EQ(got.value().size(), 20000u);
+    EXPECT_EQ(got.value(), f.store.read(f.file, 0, 20000).value());
+    EXPECT_EQ(std::vector<uint8_t>(got.value().begin() + 8192,
+                                   got.value().begin() + 8192 + 4096),
+              patch);
+    EXPECT_EQ(f.dx.misses(), 0u);
+}
+
+TEST(DfsFault, ReadShrinksItsWindowAcrossAnOutage)
+{
+    DfsFaultFixture f;
+    sim::Time t0 = f.cluster.sim.now();
+    net::FaultPlan plan;
+    plan.pauses.push_back({t0, t0 + sim::msec(250)});
+    f.cluster.network.installFaults(plan);
+
+    // kDxReadTimeout is 100 ms: the first window (3 blocks) times out
+    // inside the outage, halves twice, and the window-1 attempt issued
+    // at ~200 ms is delivered when the outage lifts at 250 ms — well
+    // inside its own deadline. The read completes; it never fails.
+    auto t = f.dx.read(f.file, 0, 20000);
+    auto got = runToCompletion(f.cluster.sim, t);
+    ASSERT_TRUE(got.ok()) << got.status().toString();
+    EXPECT_EQ(got.value(), f.store.read(f.file, 0, 20000).value());
+    EXPECT_GE(f.dx.windowShrinks(), 2u);
+    EXPECT_EQ(f.dx.misses(), 0u);
+    f.cluster.sim.run();
+    EXPECT_EQ(f.cluster.sim.blockedTaskCount(), 0u);
+}
+
+TEST(DfsFault, FivePercentDropLosesNothingUserVisible)
+{
+    // The acceptance workload: the full DFS stack over a link dropping
+    // 5% of all cells. With the reliable wire underneath, loss shows
+    // up as latency, never as a failed or corrupt user-visible op.
+    DfsFaultFixture f;
+    f.cluster.engineA.wire().enableReliability();
+    f.cluster.engineB.wire().enableReliability();
+    net::FaultPlan plan;
+    plan.seed = 23;
+    plan.dropRate = 0.05;
+    f.cluster.network.installFaults(plan);
+
+    std::vector<uint8_t> fresh(8192);
+    for (size_t j = 0; j < fresh.size(); ++j) {
+        fresh[j] = static_cast<uint8_t>(j * 7 + 3);
+    }
+    auto w = f.dx.write(f.file, 4096, fresh);
+    auto ws = runToCompletion(f.cluster.sim, w);
+    ASSERT_TRUE(ws.ok()) << ws.toString();
+    f.cluster.sim.run(); // let retransmit-delayed deposits settle
+    f.server.scavengeDirtyBlocks();
+
+    auto t = f.dx.read(f.file, 0, 20000);
+    auto got = runToCompletion(f.cluster.sim, t);
+    ASSERT_TRUE(got.ok()) << got.status().toString();
+    ASSERT_EQ(got.value().size(), 20000u);
+    EXPECT_EQ(got.value(), f.store.read(f.file, 0, 20000).value());
+    EXPECT_EQ(std::vector<uint8_t>(got.value().begin() + 4096,
+                                   got.value().begin() + 4096 + 8192),
+              fresh);
+
+    EXPECT_GT(f.cluster.network.totalFaultDrops(), 0u);
+    EXPECT_GT(f.cluster.engineA.wire().retransmits() +
+                  f.cluster.engineB.wire().retransmits(),
+              0u);
+    f.cluster.sim.run();
+    EXPECT_EQ(f.cluster.sim.blockedTaskCount(), 0u);
 }
 
 TEST(DfsEdge, LongNameLookupFallsBackGracefully)

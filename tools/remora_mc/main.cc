@@ -30,12 +30,14 @@
 
 #include "dfs/token.h"
 #include "mem/node.h"
+#include "net/fault.h"
 #include "net/network.h"
 #include "obs/metrics.h"
 #include "rmem/engine.h"
 #include "rmem/notification.h"
 #include "rmem/sync.h"
 #include "rpc/hybrid1.h"
+#include "rpc/transport.h"
 #include "sim/explorer.h"
 #include "sim/task.h"
 #include "util/panic.h"
@@ -232,6 +234,77 @@ dfsTokenWorkload(sim::Simulator &s)
     REMORA_ASSERT(w1.done() && w2.done());
 }
 
+/**
+ * Notified writes across a dropping link: the reliable wire must
+ * deliver every one exactly once and wake the reader under any
+ * schedule, with retransmission timers racing delivery and acks.
+ */
+void
+lossyWriteWorkload(sim::Simulator &s)
+{
+    World w(s, 2);
+    w.engines[0]->wire().enableReliability();
+    w.engines[1]->wire().enableReliability();
+    auto seg = w.exportOn(0, "mc.lossy", 4096,
+                          rmem::NotifyPolicy::kConditional);
+    net::FaultPlan plan;
+    plan.seed = 7;
+    plan.dropRate = 0.25;
+    w.network.installFaults(plan);
+    rmem::NotificationChannel *ch = w.engines[0]->channel(seg.descriptor);
+    REMORA_ASSERT(ch != nullptr);
+    auto reader = notifyReader(ch, 3);
+    auto w1 = w.engines[1]->write(seg, 0, {1, 2, 3}, true);
+    auto w2 = w.engines[1]->write(seg, 64, {4, 5, 6}, true);
+    auto w3 = w.engines[1]->write(seg, 128, {7, 8, 9}, true);
+    s.run();
+    REMORA_ASSERT(reader.done());
+    REMORA_ASSERT(w1.done() && w1.result().ok());
+    REMORA_ASSERT(w2.done() && w2.result().ok());
+    REMORA_ASSERT(w3.done() && w3.result().ok());
+    REMORA_ASSERT(w.engines[1]->wire().sendFailures() == 0);
+}
+
+/** One retried RPC call; the reply must echo the tag. */
+sim::Task<void>
+lossyRpcCall(rpc::RpcTransport *c, uint8_t tag)
+{
+    std::vector<uint8_t> args(1, tag);
+    auto r = co_await c->call(1, 3, args, sim::msec(3), /*maxRetries=*/10);
+    REMORA_ASSERT(r.ok());
+    REMORA_ASSERT(r.value()[0] == tag);
+}
+
+/**
+ * Retried RPC across a dropping link with wire reliability OFF: the
+ * transport's at-most-once layer alone must recover — every call
+ * completes, and the handler runs exactly once per logical call no
+ * matter how timeouts, duplicates, and late replies interleave.
+ */
+void
+lossyRpcWorkload(sim::Simulator &s)
+{
+    World w(s, 2);
+    rpc::RpcTransport server(w.engines[0]->wire());
+    rpc::RpcTransport client(w.engines[1]->wire());
+    int handlerRuns = 0;
+    server.registerProc(
+        3, [&handlerRuns](net::NodeId, std::vector<uint8_t> args)
+               -> sim::Task<std::vector<uint8_t>> {
+            ++handlerRuns;
+            co_return args;
+        });
+    net::FaultPlan plan;
+    plan.seed = 11;
+    plan.dropRate = 0.35;
+    w.network.installFaults(plan);
+    auto t1 = lossyRpcCall(&client, 0x51);
+    auto t2 = lossyRpcCall(&client, 0x52);
+    s.run();
+    REMORA_ASSERT(t1.done() && t2.done());
+    REMORA_ASSERT(handlerRuns == 2);
+}
+
 // ----------------------------------------------------------------------
 // Seeded workloads (planted bugs the explorer must find)
 // ----------------------------------------------------------------------
@@ -310,6 +383,8 @@ registry()
         {"vector-notify", vectorNotifyWorkload, false},
         {"sync", syncWorkload, false},
         {"dfs-token", dfsTokenWorkload, false},
+        {"lossy-write", lossyWriteWorkload, false},
+        {"lossy-rpc", lossyRpcWorkload, false},
         {"deadlock", deadlockWorkload, true},
         {"lost-wakeup", lostWakeupWorkload, true},
     };
